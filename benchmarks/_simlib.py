@@ -1,0 +1,98 @@
+"""Shared helpers for the table/figure benchmarks.
+
+Simulation-backed benchmarks (Figs. 7 and 8) are expensive, so results
+are cached on disk keyed by the configuration; re-running the bench
+suite reuses them.  Sizes default to laptop scale and grow with::
+
+    REPRO_BENCH_N      particles per dimension (default 12)
+    REPRO_BENCH_FULL   set to 1 for the larger, slower configuration
+
+Every benchmark prints the rows/series it regenerates so the tee'd
+bench log doubles as the measured side of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.simulation import Simulation, SimulationConfig
+
+CACHE_DIR = Path(__file__).parent / "_cache"
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "12"))
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def config_key(cfg: SimulationConfig) -> str:
+    payload = {
+        k: (v.name if hasattr(v, "name") and k == "cosmology" else v)
+        for k, v in cfg.__dict__.items()
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def run_cached(cfg: SimulationConfig) -> dict:
+    """Run (or load) a simulation; returns dict with pos, history summary."""
+    CACHE_DIR.mkdir(exist_ok=True)
+    path = CACHE_DIR / f"sim_{config_key(cfg)}.npz"
+    if path.exists():
+        data = np.load(path)
+        return {
+            "pos": data["pos"],
+            "mass": data["mass"],
+            "a_final": float(data["a_final"]),
+            "steps": int(data["steps"]),
+            "interactions_per_particle": float(data["ipp"]),
+        }
+    sim = Simulation(cfg)
+    ps = sim.run()
+    ipp = float(
+        np.mean([r.interactions_per_particle for r in sim.history])
+        if sim.history
+        else 0.0
+    )
+    np.savez_compressed(
+        path,
+        pos=ps.pos,
+        mass=ps.mass,
+        a_final=ps.a,
+        steps=len(sim.history),
+        ipp=ipp,
+    )
+    return {
+        "pos": ps.pos,
+        "mass": ps.mass,
+        "a_final": ps.a,
+        "steps": len(sim.history),
+        "interactions_per_particle": ipp,
+    }
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for r in rows:
+        print("  ".join(_fmt(v).ljust(w) for v, w in zip(r, widths)))
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v != 0 and (abs(v) < 1e-3 or abs(v) >= 1e5):
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)

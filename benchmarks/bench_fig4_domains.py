@@ -1,0 +1,83 @@
+"""Figure 4: space-filling-curve domain decomposition.
+
+The paper shows 3072 processor domains of a highly evolved 1 Gpc/h
+box.  This bench decomposes a clustered particle distribution into
+thousands of SFC domains and reports the figure's implicit
+quantitative content: near-perfect work balance, spatially compact
+domains (small surface fraction), and curve contiguity, for Morton vs
+Hilbert orderings.
+"""
+
+import numpy as np
+import pytest
+
+from _simlib import once, print_table
+from repro.parallel import decompose, domain_surface_stats
+
+
+def _clustered(n=60000, seed=0):
+    """A crude highly-evolved density field: halos + filaments + field."""
+    rng = np.random.default_rng(seed)
+    halos = rng.random((40, 3))
+    sizes = rng.pareto(2.0, 40) + 1.0
+    sizes = (sizes / sizes.sum() * n * 0.6).astype(int)
+    parts = [rng.random((n - sizes.sum(), 3))]
+    for c, s in zip(halos, sizes):
+        parts.append((c + 0.02 * rng.standard_normal((s, 3))) % 1.0)
+    return np.concatenate(parts)
+
+
+@pytest.mark.parametrize("curve", ["morton", "hilbert"])
+def test_fig4_decomposition(benchmark, curve):
+    pos = _clustered()
+    n_domains = 3072 if len(pos) >= 30000 else 256
+
+    def run():
+        d = decompose(pos, n_domains, curve=curve)
+        stats = domain_surface_stats(pos, d, probe=0.01)
+        return d, stats
+
+    d, stats = once(benchmark, run)
+    print_table(
+        f"Fig. 4: {n_domains} {curve} domains of a clustered box",
+        ["metric", "value"],
+        [
+            ("particles", len(pos)),
+            ("count imbalance (max/mean - 1)", round(d.load_imbalance(), 4)),
+            ("boundary fraction @0.01", round(stats["boundary_fraction"], 4)),
+            ("mean domain extent", round(stats["mean_extent"], 4)),
+            ("max domain extent", round(stats["max_extent"], 4)),
+        ],
+    )
+    # work balance is the decomposition's contract
+    assert d.load_imbalance() < 0.3
+    # domains are small compared to the box (compactness)
+    ideal = (1.0 / n_domains) ** (1 / 3)
+    assert stats["mean_extent"] < 8 * ideal
+    # every domain is a contiguous interval of the curve
+    order = np.argsort(d.keys)
+    assert np.all(np.diff(d.rank_of[order]) >= 0)
+
+
+def test_fig4_weighted_balance(benchmark):
+    """Production decomposition balances *work* (interaction counts),
+    not particle counts — clustered particles cost more."""
+    pos = _clustered(seed=3)
+    rng = np.random.default_rng(1)
+    # synthetic work: particles in dense regions cost ~3x
+    from scipy.spatial import cKDTree
+
+    t = cKDTree(pos % 1.0, boxsize=1.0)
+    density = np.array(t.query_ball_point(pos % 1.0, 0.01, return_length=True))
+    weights = 1.0 + 2.0 * density / max(density.max(), 1)
+
+    def run():
+        d = decompose(pos, 512, weights=weights)
+        return d.load_imbalance(weights), d.load_imbalance()
+
+    w_imb, c_imb = once(benchmark, run)
+    print(
+        f"\nweighted decomposition: work imbalance {w_imb:.3f}, "
+        f"(count imbalance {c_imb:.3f} is allowed to be worse)"
+    )
+    assert w_imb < 0.25

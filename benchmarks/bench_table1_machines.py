@@ -1,0 +1,70 @@
+"""Table 1: HOT performance across two decades of supercomputers.
+
+Regenerates the table rows from the machine catalog's performance
+model (clock x concurrency x kernel efficiency) and checks them
+against the published Tflop/s, plus the §7 concurrency accounting
+(Delta -> Jaguar = 55x clock, 4096x concurrency, ~20% efficiency loss).
+"""
+
+import pytest
+
+from _simlib import once, print_table
+from repro.perfmodel import TABLE1_MACHINES
+
+
+def test_table1_rows(benchmark):
+    def run():
+        return [
+            (
+                m.year,
+                m.site,
+                m.name,
+                m.procs,
+                round(m.measured_tflops, 3),
+                round(m.modeled_tflops, 3),
+            )
+            for m in TABLE1_MACHINES
+        ]
+
+    rows = once(benchmark, run)
+    print_table(
+        "Table 1: HOT performance (paper Tflop/s vs catalog model)",
+        ["Year", "Site", "Machine", "Procs", "paper", "model"],
+        rows,
+    )
+    for m in TABLE1_MACHINES:
+        assert m.modeled_tflops == pytest.approx(m.measured_tflops, rel=0.08)
+
+
+def test_table1_five_decades_of_performance(benchmark):
+    def run():
+        perfs = [m.measured_tflops for m in TABLE1_MACHINES]
+        return max(perfs) / min(perfs)
+
+    span = once(benchmark, run)
+    print(f"\nTable 1 dynamic range: {span:.0f}x (paper: 'five decades')")
+    assert span > 1e5
+
+
+def test_section7_extrapolation(benchmark):
+    """§7: the Delta -> Jaguar speedup decomposes into clock x
+    concurrency x efficiency; an exaflop machine needs ~2000x more
+    concurrency, log2-distance smaller than Delta -> Jaguar."""
+
+    def run():
+        delta = next(m for m in TABLE1_MACHINES if "Delta" in m.name)
+        jaguar = next(m for m in TABLE1_MACHINES if "Jaguar" in m.name)
+        clock = jaguar.clock_ghz / delta.clock_ghz
+        conc = jaguar.concurrency / delta.concurrency
+        perf = jaguar.measured_tflops / delta.measured_tflops
+        eff_loss = perf / (clock * conc)
+        return clock, conc, perf, eff_loss
+
+    clock, conc, perf, eff = once(benchmark, run)
+    print(
+        f"\n§7 accounting: clock x{clock:.0f}, concurrency x{conc:.0f}, "
+        f"delivered x{perf:.0f}, residual efficiency {eff:.2f} "
+        f"(paper: 55 x 4096 with ~20% loss => ~0.8)"
+    )
+    assert clock == pytest.approx(55, rel=0.02)
+    assert 0.5 < eff < 1.1

@@ -1,0 +1,133 @@
+"""Table 2: stage breakdown of one production timestep.
+
+The paper's row set (Mustang, 12288 processors, 4096^3 particles,
+704 s total at 56.8 Tflop/s):
+
+    Domain Decomposition   12 s
+    Tree Build             24 s
+    Tree Traversal        212 s
+    Data Communication     26 s
+    Force Evaluation      350 s
+    Load Imbalance         80 s
+
+This bench measures the same stage *fractions* from a real (small)
+timestep of this library — wall-clock split between decomposition,
+tree build, traversal, force evaluation, plus simulated-machine
+communication and imbalance from the parallel traversal — and then
+scales the model to the paper's configuration for the side-by-side.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _simlib import BENCH_N, once, print_table
+from repro.cosmology import PLANCK2013, code_particle_mass
+from repro.gravity import TreecodeConfig, TreecodeGravity
+from repro.parallel import JAGUAR_LIKE, decompose, parallel_traversal
+from repro.perfmodel import table2_breakdown
+from repro.simulation import ICConfig, generate_ic
+from repro.tree import build_tree, compute_moments, traverse
+from repro.gravity.treeforce import evaluate_forces
+from repro.gravity.smoothing import make_softening
+
+PAPER_ROWS = {
+    "domain_decomposition": 12.0,
+    "tree_build": 24.0,
+    "tree_traversal": 212.0,
+    "data_communication": 26.0,
+    "force_evaluation": 350.0,
+    "load_imbalance": 80.0,
+}
+
+
+def _measure_stages():
+    n = max(BENCH_N, 12)
+    ic = ICConfig(n_per_dim=n, box_mpc_h=100.0, a_init=0.25, seed=5)
+    ps = generate_ic(PLANCK2013, ic)
+    stages = {}
+    t0 = time.perf_counter()
+    decomp = decompose(ps.pos, 64)
+    stages["domain_decomposition"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    tree = build_tree(ps.pos, ps.mass, nleaf=16, with_ghosts=True)
+    moms = compute_moments(
+        tree, p=4, tol=1e-5, background=True, mean_density=ps.mass.sum()
+    )
+    stages["tree_build"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    inter = traverse(tree, moms, periodic=True, ws=1)
+    stages["tree_traversal"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    res = evaluate_forces(
+        tree, moms, inter, softening=make_softening("dehnen_k1", 0.05 / n),
+        dtype=np.float32, want_potential=False,
+    )
+    stages["force_evaluation"] = time.perf_counter() - t0
+    # communication & imbalance from the simulated parallel machine
+    # rank count scaled to keep >= a few hundred particles per domain,
+    # like production granularity
+    n_ranks = max(4, min(64, tree.n_particles // 256))
+    pstats = parallel_traversal(tree, moms, n_ranks=n_ranks, machine=JAGUAR_LIKE)
+    stages["data_communication"] = pstats.abm_time_s
+    stages["load_imbalance"] = stages["force_evaluation"] * pstats.load_imbalance
+    counts = {
+        "interactions_per_particle": inter.interactions_per_particle(tree),
+        "cell_per_particle": inter.n_cell_interactions(tree) / tree.n_particles,
+        "pp_per_particle": inter.n_pp_interactions(tree) / tree.n_particles,
+        "prism_per_particle": inter.n_prism_interactions(tree) / tree.n_particles,
+    }
+    return stages, counts
+
+
+def test_table2_stage_fractions(benchmark):
+    stages, counts = once(benchmark, _measure_stages)
+    total = sum(stages.values())
+    paper_total = sum(PAPER_ROWS.values())
+    rows = [
+        (name, round(PAPER_ROWS[name], 1), round(PAPER_ROWS[name] / paper_total, 3),
+         round(stages[name], 3), round(stages[name] / total, 3))
+        for name in PAPER_ROWS
+    ]
+    print_table(
+        "Table 2: timestep stage breakdown (paper seconds/fraction vs measured)",
+        ["stage", "paper s", "paper frac", "ours s", "ours frac"],
+        rows,
+    )
+    print(
+        f"interaction mix per particle: cell {counts['cell_per_particle']:.0f}, "
+        f"pp {counts['pp_per_particle']:.0f}, prism {counts['prism_per_particle']:.0f} "
+        f"(paper §7: ~2000 mostly-hexadecapole at errtol 1e-5)"
+    )
+    # shape assertions: force evaluation dominates; decomposition and tree
+    # build are both small compared to traversal + force
+    assert stages["force_evaluation"] == max(
+        stages[k] for k in ("force_evaluation", "domain_decomposition", "tree_build")
+    )
+    assert stages["domain_decomposition"] < 0.25 * total
+    assert stages["tree_build"] < 0.3 * total
+    # paper's efficiency metric: interactions/particle in the right decade
+    assert 300 < counts["interactions_per_particle"] < 20000
+
+
+def test_table2_scaled_to_paper_configuration(benchmark):
+    def run():
+        frac = {k: v / sum(PAPER_ROWS.values()) for k, v in PAPER_ROWS.items()}
+        return table2_breakdown(
+            frac, n_particles=4096**3, flops_per_particle=582000.0,
+            n_ranks=12288, machine=JAGUAR_LIKE,
+        )
+
+    bd = once(benchmark, run)
+    print_table(
+        "Table 2 scaled: model at 4096^3 on 12288 procs",
+        ["stage", "paper s", "model s"],
+        [
+            (label, PAPER_ROWS[key], round(seconds, 1))
+            for (label, seconds), key in zip(bd.rows(), PAPER_ROWS)
+        ],
+    )
+    # the model's total should land within a small factor of 704 s
+    assert 150 < bd.total < 3000
+    print(f"model total {bd.total:.0f} s vs paper 704 s")

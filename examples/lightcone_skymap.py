@@ -1,0 +1,61 @@
+"""Light-cone sky map — the Fig. 1 pipeline end to end.
+
+Runs a small box while a LightConeRecorder captures particles as the
+z=0 observer's backward light cone sweeps through them, then projects
+the cone onto an equal-area sphere and prints the Mollweide-projected
+density contrast (the paper renders the same data with HEALPix).
+
+Run:  python examples/lightcone_skymap.py   (~1 minute)
+"""
+
+import numpy as np
+
+from repro.analysis import EqualAreaSphere, mollweide_xy
+from repro.cosmology import PLANCK2013, Background
+from repro.simulation import LightConeRecorder, Simulation, SimulationConfig
+
+
+def main():
+    box = 3000.0  # Mpc/h: deep cone, linear structure at this resolution
+    cfg = SimulationConfig(
+        n_per_dim=10, box_mpc_h=box, a_init=0.4, a_final=1.0,
+        errtol=1e-3, p=2, max_refine=1, track_energy=False, seed=11,
+    )
+    bg = Background(PLANCK2013)
+    print(
+        f"Recording the light cone of a z=0 observer through a {box:.0f} "
+        f"Mpc/h box\n(a = {cfg.a_init} -> 1; cone depth chi(a_init) = "
+        f"{bg.comoving_distance(cfg.a_init):.0f} Mpc/h)"
+    )
+    sim = Simulation(cfg)
+    cone = LightConeRecorder(PLANCK2013, box, depth_boxes=1.0)
+    sim.run(callback=cone)
+    print(f"steps: {len(sim.history)}; particles on the cone: {cone.n_recorded}")
+    z = cone.redshifts
+    print(f"redshift range of the cone: {z.min():.2f} .. {z.max():.2f}")
+
+    sphere = EqualAreaSphere(8)
+    sky = cone.sky_map(sphere)
+    print(f"\nsky pixels: {sphere.n_pixels}; "
+          f"density contrast rms {sky.std():.3f}, max {sky.max():.2f}")
+
+    # a terminal Mollweide rendering: coarse character map
+    xy = mollweide_xy(sphere.pixel_centers())
+    cols, rows = 64, 17
+    grid = [[" "] * cols for _ in range(rows)]
+    shades = " .:-=+*#%@"
+    lo, hi = np.percentile(sky, [5, 95])
+    for (x, y), v in zip(xy, sky):
+        c = int((x + 2 * np.sqrt(2)) / (4 * np.sqrt(2)) * (cols - 1))
+        r = int((np.sqrt(2) - y) / (2 * np.sqrt(2)) * (rows - 1))
+        t = 0.0 if hi <= lo else np.clip((v - lo) / (hi - lo), 0, 1)
+        grid[r][c] = shades[int(t * (len(shades) - 1))]
+    print("\nMollweide projection of the light-cone density (ASCII):")
+    for row in grid:
+        print("  " + "".join(row))
+    print("\n(the paper's Fig. 1 is this object at 69e9 particles, rendered")
+    print(" with HEALPix and compared against the Planck satellite maps)")
+
+
+if __name__ == "__main__":
+    main()

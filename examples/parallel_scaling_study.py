@@ -1,0 +1,95 @@
+"""Exercise the simulated parallel machine (paper §3, Figs. 4-5).
+
+Decomposes a clustered box over many ranks with the space-filling-curve
+sample sort, runs the request/reply parallel traversal with ABM
+batching, compares the Alltoall strategies, and evaluates the strong-
+scaling model calibrated from the measurements.
+
+Run:  python examples/parallel_scaling_study.py   (~1 minute)
+"""
+
+import numpy as np
+
+from repro.cosmology import PLANCK2013
+from repro.parallel import (
+    JAGUAR_LIKE,
+    SimComm,
+    alltoall_pairwise,
+    decompose,
+    domain_surface_stats,
+    parallel_traversal,
+    sample_sort,
+    sparse_exchange_pattern,
+)
+from repro.perfmodel import ScalingInputs, StrongScalingModel
+from repro.simulation import ICConfig, generate_ic
+from repro.tree import build_tree, compute_moments
+
+
+def main():
+    ps = generate_ic(PLANCK2013, ICConfig(n_per_dim=14, a_init=0.25, seed=8))
+    pos, mass = ps.pos, ps.mass
+    print(f"{len(pos)} particles; evolving field at z=3\n")
+
+    # --- domain decomposition (Fig. 4) ------------------------------------
+    for curve in ("morton", "hilbert"):
+        d = decompose(pos, 64, curve=curve)
+        st = domain_surface_stats(pos, d, probe=0.02)
+        print(
+            f"{curve:8s}: 64 domains, imbalance {d.load_imbalance():.3f}, "
+            f"boundary fraction {st['boundary_fraction']:.3f}, "
+            f"max extent {st['max_extent']:.3f}"
+        )
+
+    # --- distributed sample sort -------------------------------------------
+    comm = SimComm(16, JAGUAR_LIKE)
+    from repro.keys import keys_from_positions
+
+    keys = keys_from_positions(pos)
+    chunks = np.array_split(keys, 16)
+    sorted_chunks, splitters = sample_sort(comm, chunks)
+    counts = [len(c) for c in sorted_chunks]
+    print(
+        f"\nsample sort over 16 ranks: counts {min(counts)}..{max(counts)}, "
+        f"{comm.ledger.total_bytes()} bytes moved, "
+        f"modeled {comm.ledger.time_s * 1e3:.2f} ms"
+    )
+
+    # --- sparse particle exchange (§3.1) --------------------------------------
+    comm2 = SimComm(64, JAGUAR_LIKE)
+    send = sparse_exchange_pattern(64, 5000)
+    alltoall_pairwise(comm2, send)
+    print(
+        f"sparse step exchange, 64 ranks: {comm2.ledger.total_messages()} "
+        f"messages (dense would use {64 * 63})"
+    )
+
+    # --- parallel traversal with ABM (§3.2) ------------------------------------
+    tree = build_tree(pos, mass, nleaf=16)
+    moms = compute_moments(tree, p=2, tol=1e-4)
+    stats = parallel_traversal(tree, moms, n_ranks=32, machine=JAGUAR_LIKE)
+    print(
+        f"\nparallel traversal over 32 ranks: load imbalance "
+        f"{stats.load_imbalance:.3f}, {stats.remote_cells_requested.sum()} "
+        f"remote hcells via {stats.abm_wire_messages} wire messages "
+        f"({stats.abm_posted_messages} posted; batching amortized "
+        f"{stats.abm_posted_messages - stats.abm_wire_messages})"
+    )
+
+    # --- strong scaling model (Fig. 5) --------------------------------------------
+    inputs = ScalingInputs(
+        n_particles=128e9,
+        flops_per_particle=582000.0,
+        imbalance_ref=min(stats.load_imbalance, 0.1),
+        imbalance_ref_ranks=16384,
+        remote_cells_ref=float(stats.remote_cells_requested.mean()) * 50,
+    )
+    model = StrongScalingModel(inputs, JAGUAR_LIKE)
+    print("\nstrong scaling model at the paper's Fig. 5 configuration:")
+    print(f"{'cores':>8s} {'Tflop/s':>9s} {'efficiency':>10s}")
+    for p in (16384, 32768, 65536, 131072, 262144):
+        print(f"{p:8d} {model.tflops(p):9.0f} {model.efficiency(p, 16384):10.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no `wheel`
+package, so PEP 660 editable installs (which shell out to
+`bdist_wheel`) cannot run.  Keeping a setup.py lets
+`pip install -e . --no-build-isolation` fall back to the legacy
+`setup.py develop` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

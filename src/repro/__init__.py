@@ -1,0 +1,15 @@
+"""repro — a Python reproduction of 2HOT (Warren, SC'13).
+
+An adaptive parallel hashed oct-tree N-body library for cosmological
+simulation: Cartesian multipole methods with rigorous error bounds and
+background subtraction, symplectic comoving time integration, periodic
+boundary conditions via lattice local expansions, a simulated parallel
+machine exercising the paper's communication algorithms, and the
+analysis pipeline (power spectra, halo finders, mass functions) used
+for its scientific results.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,134 @@
+"""Isodensity halo finding (paper §3.4.5, the second mode of ``vfind``).
+
+"We use vfind ... to perform both friend-of-friends (FOF) and
+isodensity halo finding."  Isodensity grouping links only particles
+whose local density exceeds a threshold, which cuts the linking
+bridges that make FOF merge distinct halos through filaments.
+
+Implementation: kNN density estimate (SPH-like: rho_i ~ k / V(r_k)),
+keep particles above ``threshold`` x mean density, group *those* with
+a FOF at the same linking length, then attach each remaining particle
+to the group of its nearest dense neighbour within the linking length
+(or leave it unbound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.spatial import cKDTree
+
+__all__ = ["knn_density", "isodensity_halos", "IsodensityResult"]
+
+
+def knn_density(
+    pos: np.ndarray, k: int = 16, box: float = 1.0, mass: np.ndarray | None = None
+) -> np.ndarray:
+    """SPH-flavoured kNN density estimate (periodic)."""
+    pos = np.asarray(pos, dtype=np.float64) % box
+    n = len(pos)
+    if mass is None:
+        mass = np.ones(n)
+    k_eff = min(k + 1, n)
+    tree = cKDTree(pos, boxsize=box)
+    d, idx = tree.query(pos, k=k_eff)
+    r = np.maximum(d[:, -1], 1e-12)
+    enclosed = np.take(np.asarray(mass, dtype=np.float64), idx).sum(axis=1)
+    return enclosed / (4.0 / 3.0 * np.pi * r**3)
+
+
+@dataclass
+class IsodensityResult:
+    """Isodensity grouping output (mirrors FOFResult's core fields)."""
+
+    labels: np.ndarray
+    n_groups: int
+    sizes: np.ndarray
+    centers: np.ndarray
+    masses: np.ndarray
+    dense_fraction: float
+
+
+def isodensity_halos(
+    pos: np.ndarray,
+    mass: np.ndarray,
+    threshold: float = 80.0,
+    linking_length: float = 0.2,
+    box: float = 1.0,
+    min_members: int = 20,
+    k_density: int = 16,
+) -> IsodensityResult:
+    """Group particles above an isodensity threshold.
+
+    Parameters
+    ----------
+    threshold:
+        Density threshold in units of the mean density (80x mean is the
+        classic virialized-region scale).
+    linking_length:
+        In mean-interparticle-separation units, applied to the dense
+        subset and to the attachment step.
+    """
+    pos = np.asarray(pos, dtype=np.float64) % box
+    m = np.asarray(mass, dtype=np.float64)
+    n = len(pos)
+    rho = knn_density(pos, k=k_density, box=box, mass=m)
+    rho_mean = m.sum() / box**3
+    dense = rho > threshold * rho_mean
+    labels = np.full(n, -1, dtype=np.int64)
+    if not np.any(dense):
+        return IsodensityResult(
+            labels=labels, n_groups=0, sizes=np.empty(0, dtype=np.int64),
+            centers=np.empty((0, 3)), masses=np.empty(0), dense_fraction=0.0,
+        )
+    ll = linking_length * box / n ** (1.0 / 3.0)
+    didx = np.flatnonzero(dense)
+    dtree = cKDTree(pos[didx], boxsize=box)
+    pairs = dtree.query_pairs(ll, output_type="ndarray")
+    graph = sparse.coo_matrix(
+        (np.ones(len(pairs)), (pairs[:, 0], pairs[:, 1])),
+        shape=(len(didx), len(didx)),
+    )
+    n_comp, raw = sparse.csgraph.connected_components(graph, directed=False)
+    counts = np.bincount(raw, minlength=n_comp)
+    keep = np.flatnonzero(counts >= min_members)
+    order = keep[np.argsort(counts[keep])[::-1]]
+    remap = np.full(n_comp, -1, dtype=np.int64)
+    remap[order] = np.arange(len(order))
+    labels[didx] = remap[raw]
+
+    # attach non-dense particles to the nearest dense neighbour's group
+    loose = np.flatnonzero(~dense)
+    if len(loose) and len(order):
+        d, j = dtree.query(pos[loose], k=1)
+        near = d <= ll
+        labels[loose[near]] = labels[didx[j[near]]]
+
+    n_groups = len(order)
+    sizes = np.bincount(labels[labels >= 0], minlength=n_groups)
+    centers = np.zeros((n_groups, 3))
+    masses = np.zeros(n_groups)
+    if n_groups:
+        grouped = labels >= 0
+        masses = np.bincount(labels[grouped], weights=m[grouped], minlength=n_groups)
+        for ax in range(3):
+            theta = pos[:, ax] / box * 2 * np.pi
+            c = np.bincount(
+                labels[grouped], weights=(m * np.cos(theta))[grouped],
+                minlength=n_groups,
+            )
+            s = np.bincount(
+                labels[grouped], weights=(m * np.sin(theta))[grouped],
+                minlength=n_groups,
+            )
+            centers[:, ax] = (np.arctan2(s, c) % (2 * np.pi)) / (2 * np.pi) * box
+    return IsodensityResult(
+        labels=labels,
+        n_groups=n_groups,
+        sizes=sizes,
+        centers=centers,
+        masses=masses,
+        dense_fraction=float(dense.mean()),
+    )

@@ -1,0 +1,47 @@
+"""Counts-in-spheres variance (paper eq. 3 measured on particles).
+
+The background-subtraction argument of §2.2.1 rests on the smallness
+of the density variance in large spheres: sigma(100 Mpc/h) ~ 0.068
+today and 50-100x less at the start of a run.  This module measures
+that variance directly on a particle snapshot (for cross-checking the
+linear-theory prediction of :meth:`repro.cosmology.LinearPower.sigma_r`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = ["counts_in_spheres_variance"]
+
+
+def counts_in_spheres_variance(
+    pos: np.ndarray,
+    radius: float,
+    box: float = 1.0,
+    n_samples: int = 256,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, float]:
+    """RMS fractional mass fluctuation in randomly placed spheres.
+
+    Returns (sigma, sigma_error) where sigma is the standard deviation
+    of N_sphere / <N_sphere> - 1 over ``n_samples`` random centers and
+    sigma_error its jackknife-ish uncertainty.  Poisson shot noise
+    <N>^-1/2 is subtracted in quadrature.
+    """
+    rng = rng or np.random.default_rng(0)
+    pos = np.asarray(pos, dtype=np.float64) % box
+    tree = cKDTree(pos, boxsize=box)
+    centers = rng.random((n_samples, 3)) * box
+    counts = np.array(
+        [len(tree.query_ball_point(c, radius)) for c in centers], dtype=np.float64
+    )
+    mean = counts.mean()
+    if mean == 0:
+        return 0.0, 0.0
+    frac = counts / mean - 1.0
+    var = frac.var()
+    shot = 1.0 / mean
+    sig2 = max(var - shot, 0.0)
+    err = var / np.sqrt(n_samples / 2.0) / max(np.sqrt(sig2), 1e-12)
+    return float(np.sqrt(sig2)), float(err)

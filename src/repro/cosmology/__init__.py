@@ -1,0 +1,44 @@
+"""Cosmological background, growth and linear power (CLASS substitute).
+
+Public API::
+
+    from repro.cosmology import (
+        CosmologyParams, PLANCK2013, WMAP1, WMAP7, EDS,
+        Background, GrowthCalculator, LinearPower, DriftKickIntegrals,
+    )
+"""
+
+from .background import Background
+from .growth import GrowthCalculator
+from .params import EDS, PLANCK2013, WMAP1, WMAP5, WMAP7, CosmologyParams
+from .power import LinearPower, tophat_window, tophat_window_deriv
+from .tabulated import (
+    TabulatedBackground,
+    read_background_table,
+    write_background_table,
+)
+from .timeintegrals import (
+    DriftKickIntegrals,
+    code_mean_density,
+    code_particle_mass,
+)
+
+__all__ = [
+    "Background",
+    "CosmologyParams",
+    "DriftKickIntegrals",
+    "EDS",
+    "GrowthCalculator",
+    "LinearPower",
+    "PLANCK2013",
+    "TabulatedBackground",
+    "WMAP1",
+    "WMAP5",
+    "WMAP7",
+    "code_mean_density",
+    "code_particle_mass",
+    "read_background_table",
+    "tophat_window",
+    "tophat_window_deriv",
+    "write_background_table",
+]

@@ -1,0 +1,153 @@
+"""Linear growth of matter perturbations.
+
+2HOT (§2.1) gets the growth function either from CLASS (numerically,
+including the effect of radiation) or analytically when radiation and
+non-trivial dark energy are excluded.  Both paths are reproduced:
+
+* :meth:`GrowthCalculator.growth_ode` integrates the sub-horizon growth
+  ODE in ln(a) with the full Friedmann background, including the
+  Meszaros suppression of growth during radiation domination.  The
+  paper's headline check — the z=99 -> z=0 growth ratio moving from
+  82.8 to 79.0 (almost 5%) when radiation is dropped for Planck 2013
+  parameters — is a regression test of this module.
+* :meth:`GrowthCalculator.growth_heath` evaluates the classic Heath
+  (1977) integral, exact for matter + curvature + Lambda.
+
+Also provided: the logarithmic growth rate f = dlnD/dlna, and the
+second-order (2LPT) growth factor used by the IC generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import integrate
+
+from .background import Background
+from .params import CosmologyParams
+
+__all__ = ["GrowthCalculator"]
+
+
+class GrowthCalculator:
+    """Computes D(a), f(a) and the 2LPT growth factor for a cosmology."""
+
+    def __init__(self, params: CosmologyParams, a_init: float = 1e-6):
+        self.params = params
+        self.bg = Background(params)
+        self.a_init = a_init
+        self._spline = None
+
+    # ----- ODE growth ----------------------------------------------------------
+    def _rhs(self, lna, y):
+        """Growth ODE in x = ln a for y = (D, dD/dlna).
+
+        D'' + [2 + dlnH/dlnA] D' = (3/2) Omega_m(a) D, with radiation
+        (and dark energy) entering only through the background.
+        """
+        a = np.exp(lna)
+        e2 = float(self.bg.e2(a))
+        # dln(H)/dln(a) = (1/2) dln(E^2)/dln(a)
+        p = self.params
+        de = p.omega_de * float(self.bg._de_ratio(a))
+        dlne2 = (
+            -4.0 * p.omega_r / a**4
+            - 3.0 * p.omega_m / a**3
+            - 2.0 * p.omega_k / a**2
+            - 3.0 * (1.0 + p.w0 + p.wa * (1.0 - a)) * de
+        ) / e2
+        dlnh = 0.5 * dlne2
+        om_a = p.omega_m / a**3 / e2
+        d, dp = y
+        return [dp, -(2.0 + dlnh) * dp + 1.5 * om_a * d]
+
+    def _solve(self, a_eval):
+        a_eval = np.atleast_1d(np.asarray(a_eval, dtype=float))
+        a0 = self.a_init
+        # During matter domination D ~ a; during radiation domination the
+        # growing mode is the Meszaros solution D ~ 1 + 3a/(2a_eq); starting
+        # deep in the radiation era with D ∝ a and letting the ODE relax
+        # through equality captures the suppression automatically.
+        lna0 = np.log(a0)
+        lna_end = np.log(max(a_eval.max(), 1.0))
+        sol = integrate.solve_ivp(
+            self._rhs,
+            (lna0, lna_end),
+            [a0, a0],
+            t_eval=np.log(np.clip(a_eval, a0, None)),
+            rtol=1e-9,
+            atol=1e-12,
+            dense_output=True,
+            method="RK45",
+        )
+        if not sol.success:  # pragma: no cover - defensive
+            raise RuntimeError(f"growth ODE failed: {sol.message}")
+        return sol
+
+    def growth_ode(self, a, normalize: bool = True):
+        """Linear growth factor D(a) from the ODE.
+
+        With ``normalize`` (default), D(a=1) = 1; otherwise D matches the
+        raw growing-mode amplitude with D ~ a deep in matter domination.
+        """
+        a = np.asarray(a, dtype=float)
+        scalar = a.ndim == 0
+        sol = self._solve(np.atleast_1d(a))
+        d = sol.y[0]
+        if normalize:
+            sol1 = self._solve(np.array([1.0]))
+            d = d / sol1.y[0][-1]
+        return float(d[0]) if scalar else d
+
+    def growth_rate(self, a):
+        """f(a) = dlnD/dlna from the ODE solution."""
+        a = np.asarray(a, dtype=float)
+        scalar = a.ndim == 0
+        sol = self._solve(np.atleast_1d(a))
+        f = sol.y[1] / sol.y[0]
+        return float(f[0]) if scalar else f
+
+    # ----- analytic (Heath) growth ----------------------------------------------
+    def growth_heath(self, a, normalize: bool = True):
+        """Heath (1977) integral growth factor.
+
+        D(a) ∝ H(a) ∫_0^a da' / (a' H(a'))^3.  Exact for cosmologies with
+        matter, curvature and a cosmological constant but **no radiation**;
+        2HOT keeps this path for comparison with codes lacking radiation.
+        """
+        p = self.params
+
+        def e_norad(x):
+            return np.sqrt(
+                p.omega_m / x**3 + p.omega_k / x**2 + p.omega_de
+            )
+
+        def one(av):
+            val, _ = integrate.quad(
+                lambda x: 1.0 / (x * e_norad(x)) ** 3, 1e-12, av, limit=200
+            )
+            return e_norad(av) * val
+
+        a = np.asarray(a, dtype=float)
+        scalar = a.ndim == 0
+        d = np.array([one(av) for av in np.atleast_1d(a)])
+        if normalize:
+            d = d / one(1.0)
+        return float(d[0]) if scalar else d
+
+    # ----- 2LPT ------------------------------------------------------------------
+    def growth_2lpt(self, a):
+        """Second-order growth factor D2(a).
+
+        Uses the standard fit D2 ≈ -(3/7) D1^2 Omega_m(a)^{-1/143}
+        (Bouchet et al. 1995), adequate for 2LPT initial conditions.
+        Returned with the conventional negative sign.
+        """
+        a = np.asarray(a, dtype=float)
+        d1 = self.growth_ode(a, normalize=False)
+        om_a = self.bg.omega_m_a(a)
+        return -3.0 / 7.0 * d1**2 * om_a ** (-1.0 / 143.0)
+
+    def growth_ratio(self, a_from: float, a_to: float = 1.0) -> float:
+        """D(a_to)/D(a_from) — the factor by which linear fluctuations grow."""
+        d = self.growth_ode(np.array([a_from, a_to]), normalize=False)
+        return float(d[1] / d[0])

@@ -1,0 +1,28 @@
+"""Gravity solvers: treecode, direct, Ewald, periodic, PM/TreePM."""
+
+from .direct import direct_accelerations, direct_potential_energy
+from .smoothing import (
+    DehnenK1Softening,
+    NoSoftening,
+    PlummerSoftening,
+    SofteningKernel,
+    SplineSoftening,
+    make_softening,
+)
+from .solver import TreecodeConfig, TreecodeGravity
+from .treeforce import ForceResult, evaluate_forces
+
+__all__ = [
+    "DehnenK1Softening",
+    "ForceResult",
+    "NoSoftening",
+    "PlummerSoftening",
+    "SofteningKernel",
+    "SplineSoftening",
+    "TreecodeConfig",
+    "TreecodeGravity",
+    "direct_accelerations",
+    "direct_potential_energy",
+    "evaluate_forces",
+    "make_softening",
+]

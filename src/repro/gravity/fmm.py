@@ -1,0 +1,298 @@
+"""Cell-cell (O(N), FMM-style) evaluation — the road not taken (§2.2.2).
+
+The paper: "The expressions we derived in [68] support methods which
+use both multipole and local expansions (cell-cell interactions) ...
+generally methods which support cell-cell interactions scale as O(N)
+... Our experience has been that using O(N)-type algorithms for
+cosmological simulation exposes some undesirable behaviors.  In
+particular, the behavior of the errors near the outer regions of local
+expansions are highly correlated.  To suppress the accumulation of
+these errors, the accuracy of the local expansion must be increased,
+or their spatial scale reduced to the point where the benefit of the
+O(N) method is questionable ... For this reason, we have focused on
+... an O(N log N) method."
+
+To make that design decision reproducible rather than folklore, this
+module implements the rejected alternative: a symmetric dual-tree
+traversal producing cell-cell (M2L) interactions accumulated into
+per-cell local expansions, swept down with L2L and evaluated with L2P,
+plus the usual leaf-leaf near field.  The benchmark measures both the
+O(N)-like scaling of the interaction counts *and* the spatially
+correlated error structure the paper describes.
+
+Open (non-periodic) boundaries only — sufficient for the baseline
+comparison; the production path stays cell-body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..multipoles import multi_index_set
+from ..multipoles.codegen import compiled_dtensor_function
+from ..multipoles.multiindex import n_coeffs
+from ..multipoles.radial import NewtonianKernel
+from ..tree import Tree, TreeMoments, build_tree, compute_moments
+from ..tree.traversal import InteractionLists
+from ..util import expand_ranges
+from .smoothing import make_softening
+from .treeforce import ForceResult, evaluate_forces
+
+__all__ = ["FMMConfig", "FMMGravity", "CellCellLists", "traverse_cell_cell"]
+
+
+@dataclass
+class CellCellLists:
+    """Interaction lists of the symmetric dual-tree traversal."""
+
+    m2l_sink: np.ndarray  # cell receiving a local-expansion contribution
+    m2l_src: np.ndarray  # cell whose multipole is translated
+    leaf_a: np.ndarray  # near-field leaf pairs (each ordered pair once)
+    leaf_b: np.ndarray
+    rounds: int = 0
+
+    def n_m2l(self) -> int:
+        return len(self.m2l_sink)
+
+
+def traverse_cell_cell(
+    tree: Tree,
+    moms: TreeMoments,
+    theta: float = 0.5,
+) -> CellCellLists:
+    """Symmetric dual-tree traversal with the classic FMM MAC.
+
+    A pair (A, B) is *well separated* when
+    (bmax_A + bmax_B) < theta * |center_A - center_B|; then B's
+    multipole feeds A's local expansion and vice versa.  Otherwise the
+    larger cell is split.  Leaf-leaf pairs fall to direct summation.
+    """
+    root = int(np.flatnonzero(tree.cell_level == 0)[0])
+    pa = np.array([root], dtype=np.int64)
+    pb = np.array([root], dtype=np.int64)
+    m2l_sink, m2l_src = [], []
+    leaf_a, leaf_b = [], []
+    is_leaf = tree.is_leaf
+    rounds = 0
+    while len(pa):
+        rounds += 1
+        d = tree.cell_center[pa] - tree.cell_center[pb]
+        dist = np.sqrt(np.einsum("ij,ij->i", d, d))
+        size = moms.bmax[pa] + moms.bmax[pb]
+        ok = (size < theta * dist) & (pa != pb)
+        if np.any(ok):
+            # the ordered frontier contains both (A, B) and (B, A) — the
+            # split rule is mirror-complete — so emit ONE direction per
+            # ordered pair
+            m2l_sink.append(pa[ok])
+            m2l_src.append(pb[ok])
+        rest_a = pa[~ok]
+        rest_b = pb[~ok]
+        both_leaf = is_leaf[rest_a] & is_leaf[rest_b]
+        if np.any(both_leaf):
+            leaf_a.append(rest_a[both_leaf])
+            leaf_b.append(rest_b[both_leaf])
+        ra = rest_a[~both_leaf]
+        rb = rest_b[~both_leaf]
+        if len(ra) == 0:
+            break
+        # split the larger cell (ties: split A); a leaf is never split
+        split_a = (~is_leaf[ra]) & (
+            is_leaf[rb] | (tree.cell_side[ra] >= tree.cell_side[rb])
+        )
+        na, nb = [], []
+        # split A
+        sa = ra[split_a]
+        sb = rb[split_a]
+        if len(sa):
+            nch = tree.cell_nchildren[sa]
+            kids = expand_ranges(tree.cell_first_child[sa], nch)
+            na.append(kids)
+            nb.append(np.repeat(sb, nch))
+        # split B
+        sa2 = ra[~split_a]
+        sb2 = rb[~split_a]
+        if len(sa2):
+            nch = tree.cell_nchildren[sb2]
+            kids = expand_ranges(tree.cell_first_child[sb2], nch)
+            nb.append(kids)
+            na.append(np.repeat(sa2, nch))
+        pa = np.concatenate(na) if na else np.empty(0, dtype=np.int64)
+        pb = np.concatenate(nb) if nb else np.empty(0, dtype=np.int64)
+
+    def cat(parts):
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+    return CellCellLists(
+        m2l_sink=cat(m2l_sink),
+        m2l_src=cat(m2l_src),
+        leaf_a=cat(leaf_a),
+        leaf_b=cat(leaf_b),
+        rounds=rounds,
+    )
+
+
+@dataclass
+class FMMConfig:
+    """Knobs of the rejected O(N) method."""
+
+    p: int = 4  # source expansion order
+    p_local: int = 4  # local expansion order
+    theta: float = 0.5
+    nleaf: int = 16
+    softening: str = "plummer"
+    eps: float = 1e-3
+    G: float = 1.0
+
+
+class FMMGravity:
+    """Open-boundary cell-cell solver (the §2.2.2 baseline)."""
+
+    def __init__(self, config: FMMConfig | None = None):
+        self.config = config or FMMConfig()
+        self.last_lists: CellCellLists | None = None
+        self.last_tree: Tree | None = None
+
+    def compute(self, pos: np.ndarray, mass: np.ndarray, box: float = 1.0) -> ForceResult:
+        cfg = self.config
+        tree = build_tree(pos, mass, box=box, nleaf=cfg.nleaf)
+        moms = compute_moments(tree, p=cfg.p, tol=1e30)  # MAC unused here
+        lists = traverse_cell_cell(tree, moms, theta=cfg.theta)
+        self.last_lists = lists
+        self.last_tree = tree
+
+        p_loc = cfg.p_local
+        mis_loc = multi_index_set(p_loc + 1)
+        nloc = len(mis_loc)
+        local = np.zeros((tree.n_cells, nloc))
+
+        # ----- batched M2L ------------------------------------------------------
+        if lists.n_m2l():
+            _m2l_batch(
+                tree, moms, lists.m2l_sink, lists.m2l_src, cfg.p, p_loc, local
+            )
+
+        # ----- downward L2L ------------------------------------------------------
+        for level in range(1, tree.max_level + 1):
+            cells = tree.cells_at_level(level)
+            cells = cells[tree.cell_parent[cells] >= 0]
+            if len(cells) == 0:
+                continue
+            parents = tree.cell_parent[cells]
+            d = tree.cell_center[cells] - tree.cell_center[parents]
+            local[cells] += _l2l_batch(local[parents], d, p_loc + 1)
+
+        # ----- L2P at leaves -------------------------------------------------------
+        n = tree.n_particles
+        acc = np.zeros((n, 3))
+        pot = np.zeros(n)
+        leaves = tree.leaf_indices
+        counts = tree.cell_count[leaves]
+        pidx = expand_ranges(tree.cell_start[leaves], counts)
+        centers = np.repeat(tree.cell_center[leaves], counts, axis=0)
+        locs = np.repeat(local[leaves], counts, axis=0)
+        s = tree.pos[pidx] - centers
+        mono = mis_loc.powers(s)
+        wf = 1.0 / mis_loc.factorial
+        pot[pidx] += np.einsum("ij,ij->i", mono, locs * wf)
+        for ax in range(3):
+            cols = np.full(nloc, -1, dtype=np.int64)
+            for bi, b in enumerate(mis_loc.alphas):
+                up = (int(b[0]) + (ax == 0), int(b[1]) + (ax == 1), int(b[2]) + (ax == 2))
+                j = mis_loc.index.get(up)
+                if j is not None:
+                    cols[bi] = j
+            valid = cols >= 0
+            acc[pidx, ax] += np.einsum(
+                "ij,ij->i", mono[:, valid] * wf[valid], locs[:, cols[valid]]
+            )
+
+        # ----- near field: reuse the blocked P-P evaluator -----------------------
+        # the frontier already contains each ordered leaf pair exactly once
+        # (self pairs once), which is exactly what the evaluator wants
+        sink, src = lists.leaf_a, lists.leaf_b
+        off = np.zeros(len(sink), dtype=np.int64)
+        pseudo = InteractionLists(
+            sink_leaves=leaves,
+            offsets=np.zeros((1, 3)),
+            cell_sink=np.empty(0, dtype=np.int64),
+            cell_src=np.empty(0, dtype=np.int64),
+            cell_off=np.empty(0, dtype=np.int64),
+            leaf_sink=sink,
+            leaf_src=src,
+            leaf_off=off,
+            ghost_sink=np.empty(0, dtype=np.int64),
+            ghost_src=np.empty(0, dtype=np.int64),
+            ghost_off=np.empty(0, dtype=np.int64),
+        )
+        near = evaluate_forces(
+            tree, moms, pseudo,
+            softening=make_softening(cfg.softening, cfg.eps),
+            G=1.0, want_potential=True,
+        )
+        # near-field comes back in original order; far field is in sorted
+        # order — unsort it to match
+        acc_out = np.empty_like(acc)
+        acc_out[tree.order] = acc
+        pot_out = np.empty_like(pot)
+        pot_out[tree.order] = pot
+        acc_total = (acc_out + near.acc) * cfg.G
+        pot_total = (pot_out + near.pot) * cfg.G
+        stats = {
+            "m2l_pairs": lists.n_m2l(),
+            "pp_interactions": near.stats["pp_interactions"],
+            "n_cells": tree.n_cells,
+        }
+        return ForceResult(acc=acc_total, pot=pot_total, stats=stats)
+
+
+def _m2l_batch(tree, moms, sink, src, p_src, p_loc, local_out):
+    """Accumulate local expansions for many (sink, src) cell pairs."""
+    mis_s = multi_index_set(p_src)
+    mis_l = multi_index_set(p_loc + 1)
+    order_hi = p_src + p_loc + 1
+    mis_hi = multi_index_set(order_hi)
+    ncoef_s = len(mis_s)
+    # column map: cols[beta, alpha] = packed index of alpha+beta
+    cols = np.empty((len(mis_l), ncoef_s), dtype=np.intp)
+    for bi, b in enumerate(mis_l.alphas):
+        for ai, a in enumerate(mis_s.alphas):
+            cols[bi, ai] = mis_hi.index[tuple(int(x) for x in (a + b))]
+    w = ((-1.0) ** mis_s.order) / mis_s.factorial
+    dt_fn = compiled_dtensor_function(order_hi)
+    kernel = NewtonianKernel()
+    chunk = max(1024, int(4e6 / n_coeffs(order_hi)))
+    buf = np.empty((chunk, n_coeffs(order_hi)))
+    for s0 in range(0, len(sink), chunk):
+        s1 = min(s0 + chunk, len(sink))
+        rows = slice(s0, s1)
+        dx = tree.cell_center[sink[rows]] - tree.cell_center[src[rows]]
+        r = np.sqrt(np.einsum("ij,ij->i", dx, dx))
+        g = kernel.radial_derivs(r, order_hi)
+        out = buf[: s1 - s0]
+        dt_fn(dx[:, 0], dx[:, 1], dx[:, 2], g, out)
+        m = moms.moments[src[rows]][:, :ncoef_s] * w
+        contrib = np.empty((s1 - s0, len(mis_l)))
+        for bi in range(len(mis_l)):
+            contrib[:, bi] = np.einsum("ka,ka->k", m, out[:, cols[bi]])
+        np.add.at(local_out, sink[rows], contrib)
+
+
+def _l2l_batch(parent_local: np.ndarray, d: np.ndarray, p: int) -> np.ndarray:
+    """Translate local expansions to children centers (batched).
+
+    L'_gamma = sum_{beta >= gamma} L_beta d^{beta-gamma} / (beta-gamma)!
+    Reuses the M2M translation index table with roles reversed.
+    """
+    mis = multi_index_set(p)
+    tgt, srcb, shift, _binom = mis.translation_table
+    mono = mis.powers(d)
+    out = np.zeros_like(parent_local)
+    # table rows: (alpha=tgt, beta=srcb <= alpha, shift=alpha-beta).
+    # L2L wants: out[beta] += L[alpha] * d^(alpha-beta) / (alpha-beta)!
+    weights = 1.0 / mis.factorial[shift]
+    contrib = parent_local[:, tgt] * mono[:, shift] * weights
+    np.add.at(out.T, srcb, contrib.T)
+    return out

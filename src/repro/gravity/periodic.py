@@ -1,0 +1,180 @@
+"""Periodic boundary conditions by lattice-summed local expansions (§2.4).
+
+2HOT adopts the method of Challacombe, White & Head-Gordon (1997),
+rooted in Nijboer & De Wette (1957) and first used cosmologically by
+Metchnik (2009): the force from all periodic images beyond the
+explicitly-traversed near images (|n|_inf <= ws) is expressed as a
+local (Taylor) expansion about the box center whose coefficients are
+*lattice sums* — precomputed once per geometry, independent of the
+particle distribution:
+
+    L_beta = sum_alpha ((-1)^{|a|}/a!) M_alpha T_{alpha+beta}
+    T_gamma = sum_{|n|_inf > ws} d^gamma (1/|x - n L|) |_{x=0}
+
+The conditionally/slowly convergent T_gamma are evaluated by Ewald
+decomposition: an absolutely convergent erfc-kernel real-space sum
+over all n != 0, plus a Gaussian-damped k-space sum, plus the analytic
+x -> 0 self term, minus the explicitly-traversed near images with the
+bare Newtonian kernel.  By cubic symmetry only even orders with
+further index symmetries survive; the paper uses p = 8 and ws = 2 and
+reaches ~1e-7 of the force, with the local expansion costing ~1% and
+the 124 boundary images 5-10% of the force calculation — ratios the
+benchmarks reproduce.
+
+The box's own moments must be background-subtracted (zero monopole);
+the surviving fluctuation moments feed M2L against the lattice sums.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+
+import numpy as np
+
+from ..multipoles import l2p, multi_index_set
+from ..multipoles.dtensors import derivative_tensors
+from ..multipoles.radial import ErfcKernel, NewtonianKernel
+
+__all__ = ["lattice_sums", "PeriodicLocalExpansion"]
+
+
+@functools.lru_cache(maxsize=8)
+def _lattice_sums_cached(order: int, ws: int, box: float, alpha: float,
+                         rmax: int, kmax: int) -> np.ndarray:
+    mis = multi_index_set(order)
+    ncoef = len(mis)
+
+    # --- real-space erfc sum over all n != 0 --------------------------------
+    r = np.arange(-rmax, rmax + 1)
+    gx, gy, gz = np.meshgrid(r, r, r, indexing="ij")
+    nvec = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1).astype(np.float64)
+    nvec = nvec[np.any(nvec != 0, axis=1)] * box
+    # T evaluated at x=0: displacement from image center (-nL) to 0 is +nL;
+    # D_gamma(0 - (-nL)) = D_gamma(nL), and summing over the symmetric
+    # lattice makes the sign convention immaterial for even terms.
+    real = derivative_tensors(nvec, ErfcKernel(alpha), order).sum(axis=0)
+
+    # --- k-space sum ----------------------------------------------------------
+    k = np.arange(-kmax, kmax + 1)
+    gx, gy, gz = np.meshgrid(k, k, k, indexing="ij")
+    kvec = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1).astype(np.float64)
+    kvec = kvec[np.any(kvec != 0, axis=1)] * (2.0 * np.pi / box)
+    k2 = np.einsum("ij,ij->i", kvec, kvec)
+    kcoef = 4.0 * np.pi / box**3 * np.exp(-k2 / (4.0 * alpha * alpha)) / k2
+    kpart = np.zeros(ncoef)
+    # d^gamma cos(k.x)|_0 = Re[(ik)^gamma]: nonzero for even |gamma| with
+    # sign (-1)^{|gamma|/2}
+    mono = mis.powers(kvec)  # k^gamma
+    for i, g in enumerate(mis.alphas):
+        n = int(g.sum())
+        if n % 2:
+            continue
+        sign = (-1.0) ** (n // 2)
+        kpart[i] = sign * float((kcoef * mono[:, i]).sum())
+
+    # --- self term: -d^gamma [erf(alpha r)/r] at 0 ------------------------------
+    self_part = np.zeros(ncoef)
+    for i, g in enumerate(mis.alphas):
+        t, u, v = (int(x) for x in g)
+        if t % 2 or u % 2 or v % 2:
+            continue
+        dt, du, dv = t // 2, u // 2, v // 2
+        j = dt + du + dv
+        cj = (
+            2.0
+            * alpha
+            / math.sqrt(math.pi)
+            * (-1.0) ** j
+            * alpha ** (2 * j)
+            / (math.factorial(j) * (2 * j + 1))
+        )
+        gamma_fact = (
+            math.factorial(t) * math.factorial(u) * math.factorial(v)
+        )
+        multi = math.factorial(j) / (
+            math.factorial(dt) * math.factorial(du) * math.factorial(dv)
+        )
+        self_part[i] = cj * multi * gamma_fact
+
+    total = real + kpart - self_part
+    # gamma = 0 background term of the Ewald potential
+    total[0] -= math.pi / (alpha * alpha * box**3)
+
+    # --- subtract the explicitly-traversed near images (bare kernel) ---------
+    r = np.arange(-ws, ws + 1)
+    gx, gy, gz = np.meshgrid(r, r, r, indexing="ij")
+    near = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1).astype(np.float64)
+    near = near[np.any(near != 0, axis=1)] * box
+    total -= derivative_tensors(near, NewtonianKernel(), order).sum(axis=0)
+    return total
+
+
+def lattice_sums(
+    order: int,
+    ws: int = 2,
+    box: float = 1.0,
+    alpha: float | None = None,
+    rmax: int = 6,
+    kmax: int = 8,
+) -> np.ndarray:
+    """Packed far-lattice derivative sums T_gamma, |gamma| <= order.
+
+    ``order`` should be p_source + p_local (+1 if forces are evaluated
+    from the local expansion).  Results are cached per geometry.
+    """
+    a = 2.0 / box if alpha is None else float(alpha)
+    return _lattice_sums_cached(order, ws, float(box), a, rmax, kmax)
+
+
+class PeriodicLocalExpansion:
+    """Far-image correction: box multipoles -> local expansion -> particles.
+
+    Parameters
+    ----------
+    p_source:
+        Order of the box moments supplied (the tree's expansion order).
+    p_local:
+        Order of the local expansion about the box center (the paper
+        uses 8).
+    ws:
+        Near-image window explicitly handled by the traversal.
+    """
+
+    def __init__(self, p_source: int, p_local: int = 8, ws: int = 2, box: float = 1.0):
+        self.p_source = p_source
+        self.p_local = p_local
+        self.ws = ws
+        self.box = float(box)
+        self._tsum = lattice_sums(p_source + p_local + 1, ws=ws, box=box)
+        self._mis_hi = multi_index_set(p_source + p_local + 1)
+        self._mis_src = multi_index_set(p_source)
+        self._mis_loc = multi_index_set(p_local + 1)
+        # precolumns for the L_beta contraction
+        cols = np.empty((len(self._mis_loc), len(self._mis_src)), dtype=np.intp)
+        for bi, b in enumerate(self._mis_loc.alphas):
+            for ai, a in enumerate(self._mis_src.alphas):
+                cols[bi, ai] = self._mis_hi.index[tuple(int(x) for x in (a + b))]
+        self._cols = cols
+        self._w = ((-1.0) ** self._mis_src.order) / self._mis_src.factorial
+
+    def local_coefficients(self, box_moments: np.ndarray) -> np.ndarray:
+        """L_beta (packed, order p_local + 1) from packed box moments.
+
+        ``box_moments`` must be about the box center and background-
+        subtracted (vanishing monopole) — the delta-rho convention of
+        the rest of the library.
+        """
+        m = np.asarray(box_moments, dtype=np.float64)[: len(self._mis_src)]
+        wm = self._w * m
+        return self._tsum[self._cols] @ wm
+
+    def field(self, box_moments: np.ndarray, pos: np.ndarray):
+        """(potential, acceleration) of the far images at positions.
+
+        Positions are in [0, box)^3; the expansion center is the box
+        center.
+        """
+        loc = self.local_coefficients(box_moments)
+        center = np.full(3, self.box / 2.0)
+        return l2p(loc, center, np.asarray(pos, dtype=np.float64), self.p_local + 1)

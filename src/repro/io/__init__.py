@@ -1,0 +1,6 @@
+"""SDF self-describing files and leapfrog-preserving checkpoints."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .sdf import SDFFile, read_sdf, write_sdf
+
+__all__ = ["SDFFile", "load_checkpoint", "read_sdf", "save_checkpoint", "write_sdf"]

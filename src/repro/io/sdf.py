@@ -1,0 +1,175 @@
+"""SDF — the self-describing file format of HOT/2HOT (paper §3.4.2).
+
+"We use our own self-describing file format (SDF), which consists of
+ASCII metadata describing raw binary particle data structures."  This
+module implements that design: a header of `name = value;` assignments
+plus a struct declaration, terminated by a form-feed/EOH marker,
+followed by raw little-endian binary records.
+
+Git provenance propagation (§3.4.3) is built in: writers stamp the
+metadata with the code version/tag they were given so any output file
+records exactly what produced it.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SDFFile", "write_sdf", "read_sdf"]
+
+_EOH = b"# SDF-EOH\x0c\n"
+
+_TYPE_TO_SDF = {
+    np.dtype("float32"): "float",
+    np.dtype("float64"): "double",
+    np.dtype("int32"): "int",
+    np.dtype("int64"): "int64_t",
+    np.dtype("uint64"): "uint64_t",
+}
+_SDF_TO_TYPE = {v: k for k, v in _TYPE_TO_SDF.items()}
+
+
+@dataclass
+class SDFFile:
+    """Parsed SDF content: metadata plus named column arrays."""
+
+    metadata: dict = field(default_factory=dict)
+    columns: dict = field(default_factory=dict)
+
+    @property
+    def n_rows(self) -> int:
+        for v in self.columns.values():
+            return len(v)
+        return 0
+
+
+def _format_value(v) -> str:
+    if isinstance(v, bool):
+        return "1" if v else "0"
+    if isinstance(v, (int, np.integer)):
+        return str(int(v))
+    if isinstance(v, (float, np.floating)):
+        return repr(float(v))
+    return '"' + str(v).replace('"', "'") + '"'
+
+
+def _parse_value(s: str):
+    s = s.strip()
+    if s.startswith('"') and s.endswith('"'):
+        return s[1:-1]
+    try:
+        return int(s)
+    except ValueError:
+        pass
+    try:
+        return float(s)
+    except ValueError:
+        return s
+
+
+def write_sdf(
+    path,
+    columns: dict,
+    metadata: dict | None = None,
+    git_tag: str | None = None,
+) -> None:
+    """Write named arrays with metadata as an SDF file.
+
+    Parameters
+    ----------
+    columns:
+        Mapping name -> 1-d or (N, k) numpy array; all with equal N.
+    metadata:
+        Scalar metadata written into the ASCII header.
+    git_tag:
+        Provenance tag recorded as ``code_version`` (§3.4.3).
+    """
+    metadata = dict(metadata or {})
+    if git_tag is not None:
+        metadata["code_version"] = git_tag
+    flat: dict[str, np.ndarray] = {}
+    n_rows = None
+    for name, arr in columns.items():
+        arr = np.asarray(arr)
+        if arr.ndim == 1:
+            flat[name] = arr
+        elif arr.ndim == 2:
+            for i, suffix in enumerate("xyzw"[: arr.shape[1]] if arr.shape[1] <= 4
+                                        else range(arr.shape[1])):
+                flat[f"{name}_{suffix}"] = arr[:, i]
+        else:
+            raise ValueError(f"column {name!r} must be 1-d or 2-d")
+        m = len(arr)
+        if n_rows is None:
+            n_rows = m
+        elif n_rows != m:
+            raise ValueError("all columns must have the same length")
+    for name, arr in flat.items():
+        if arr.dtype not in _TYPE_TO_SDF:
+            raise ValueError(f"unsupported dtype {arr.dtype} for column {name!r}")
+
+    dtype = np.dtype(
+        [(name, arr.dtype.newbyteorder("<")) for name, arr in flat.items()]
+    )
+    rec = np.empty(n_rows or 0, dtype=dtype)
+    for name, arr in flat.items():
+        rec[name] = arr
+
+    with open(path, "wb") as f:
+        f.write(b"# SDF 1.0\n")
+        for k, v in metadata.items():
+            f.write(f"{k} = {_format_value(v)};\n".encode())
+        f.write(f"npart = {n_rows or 0};\n".encode())
+        f.write(b"struct {\n")
+        for name, arr in flat.items():
+            f.write(f"    {_TYPE_TO_SDF[arr.dtype]} {name};\n".encode())
+        f.write(f"}}[{n_rows or 0}];\n".encode())
+        f.write(_EOH)
+        f.write(rec.tobytes())
+
+
+def read_sdf(path) -> SDFFile:
+    """Read an SDF file written by :func:`write_sdf`."""
+    with open(path, "rb") as f:
+        raw = f.read()
+    pos = raw.find(_EOH)
+    if pos < 0:
+        raise ValueError("not an SDF file (missing end-of-header marker)")
+    header = raw[:pos].decode()
+    body = raw[pos + len(_EOH):]
+
+    metadata: dict = {}
+    fields: list[tuple[str, np.dtype]] = []
+    n_rows = 0
+    in_struct = False
+    for line in header.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("struct"):
+            in_struct = True
+            continue
+        if in_struct:
+            if line.startswith("}"):
+                in_struct = False
+                n_rows = int(line.split("[")[1].split("]")[0])
+                continue
+            typename, colname = line.rstrip(";").split()
+            fields.append((colname, _SDF_TO_TYPE[typename]))
+            continue
+        if "=" in line:
+            k, v = line.split("=", 1)
+            metadata[k.strip()] = _parse_value(v.rstrip(";"))
+    dtype = np.dtype([(n, d.newbyteorder("<")) for n, d in fields])
+    expected = n_rows * dtype.itemsize
+    if len(body) < expected:
+        raise ValueError(
+            f"SDF body truncated: {len(body)} bytes < expected {expected}"
+        )
+    rec = np.frombuffer(body[:expected], dtype=dtype)
+    columns = {n: np.ascontiguousarray(rec[n]) for n, _ in fields}
+    metadata.pop("npart", None)
+    return SDFFile(metadata=metadata, columns=columns)

@@ -1,0 +1,132 @@
+"""Analytic gravity of a homogeneous rectangular prism.
+
+2HOT's background subtraction needs the force *inside* a uniform cube
+(§2.2.1, Fig. 2): near the inter-particle separation the treecode
+defines a cube surrounding the sink's local region and removes the
+background contribution of that region analytically, citing Waldvogel
+(1976) and Seidov & Skvirsky (2000).  The closed forms implemented
+here are the classic MacMillan/Nagy prism expressions, valid for field
+points inside or outside the body:
+
+    U(P)  = G rho ||| xi eta ln(zeta + r) + eta zeta ln(xi + r)
+                   + zeta xi ln(eta + r)
+                   - xi^2/2  atan(eta zeta / (xi r))
+                   - eta^2/2 atan(zeta xi / (eta r))
+                   - zeta^2/2 atan(xi eta / (zeta r)) |||
+    g_x(P) = G rho ||| eta ln(zeta + r) + zeta ln(eta + r)
+                   - xi atan(eta zeta / (xi r)) |||
+
+where (xi, eta, zeta) = corner - P, r = |(xi, eta, zeta)|, and
+||| . ||| alternates sign over the eight corners (+ when an even
+number of lower corners is involved).  Sign conventions follow the
+rest of :mod:`repro.multipoles`: potential is positive and the
+acceleration is its gradient, so a point displaced from the cube
+center is pulled back toward it.
+
+Degenerate logs/arctangents on corner axes are guarded; their
+coefficients vanish in the same limit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["prism_potential", "prism_acceleration", "cube_interior_acceleration"]
+
+_TINY = 1e-300
+
+
+def _safe_log(x):
+    return np.log(np.maximum(x, _TINY))
+
+
+def _safe_atan(num, den):
+    # atan(num/den) with 0 where den == 0 (the prefactor vanishes there
+    # too); branchless form keeps this on the fast ufunc path
+    nz = den != 0.0
+    return np.arctan(num / np.where(nz, den, 1.0)) * nz
+
+
+def _corner_sum(points, lo, hi, f):
+    """Apply the alternating eight-corner sum of corner-relative coords.
+
+    ``lo``/``hi`` may be single (3,) corners or per-point (N, 3) arrays
+    (one box per evaluation point — used by the tree near-field where
+    every interaction row has its own background cube).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    total = np.zeros(points.shape[0])
+    for i in range(2):
+        cx = (lo[..., 0] if i == 0 else hi[..., 0]) - points[:, 0]
+        for j in range(2):
+            cy = (lo[..., 1] if j == 0 else hi[..., 1]) - points[:, 1]
+            for k in range(2):
+                cz = (lo[..., 2] if k == 0 else hi[..., 2]) - points[:, 2]
+                sign = -1.0 if (i + j + k) % 2 == 0 else 1.0
+                total += sign * f(cx, cy, cz)
+    return total
+
+
+def prism_potential(points, lo, hi, density: float = 1.0) -> np.ndarray:
+    """Potential U = rho * integral dV/|P-Q| of the box [lo, hi] at ``points``."""
+
+    def f(x, y, z):
+        r = np.sqrt(x * x + y * y + z * z)
+        return (
+            x * y * _safe_log(z + r)
+            + y * z * _safe_log(x + r)
+            + z * x * _safe_log(y + r)
+            - 0.5 * x * x * _safe_atan(y * z, x * r)
+            - 0.5 * y * y * _safe_atan(z * x, y * r)
+            - 0.5 * z * z * _safe_atan(x * y, z * r)
+        )
+
+    return density * _corner_sum(points, lo, hi, f)
+
+
+def prism_acceleration(points, lo, hi, density: float = 1.0) -> np.ndarray:
+    """Acceleration grad(U) of the homogeneous box [lo, hi] at ``points``.
+
+    Returns an (N, 3) array; with positive density the field points
+    toward the interior of the box (attractive).
+    """
+
+    def make_axis(ax):
+        def f(x, y, z):
+            # cyclic permutation so that `x` is the differentiated axis
+            if ax == 1:
+                x, y, z = y, z, x
+            elif ax == 2:
+                x, y, z = z, x, y
+            r = np.sqrt(x * x + y * y + z * z)
+            return (
+                y * _safe_log(z + r)
+                + z * _safe_log(y + r)
+                - x * _safe_atan(y * z, x * r)
+            )
+
+        return f
+
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    out = np.empty((points.shape[0], 3), dtype=np.float64)
+    # The corner sum of the Nagy integrand gives -dU/dP (the corner
+    # coordinates are corner - P); negate to return grad U, which points
+    # toward the attracting mass.
+    for ax in range(3):
+        out[:, ax] = -density * _corner_sum(points, lo, hi, make_axis(ax))
+    return out
+
+
+def cube_interior_acceleration(points, center, side: float, density: float) -> np.ndarray:
+    """Acceleration of a homogeneous cube — the §2.2.1 near-field term.
+
+    Convenience wrapper used by the background-subtraction near field:
+    the cube of uniform density ``density`` (the mean background) with
+    side ``side`` centered at ``center``, evaluated at ``points`` which
+    are typically interior.
+    """
+    center = np.asarray(center, dtype=np.float64)
+    half = 0.5 * side
+    return prism_acceleration(points, center - half, center + half, density)

@@ -1,0 +1,117 @@
+"""Pseudo-particle multipole method (Kawai & Makino 2001) — §2.2.2.
+
+The paper: "the pseudo-particle method allows one to represent the far
+field of many particles as a set of pseudo-particle monopole
+interactions.  We have found that such approaches are not as efficient
+as a well-coded multipole interaction routine ... at least up to order
+p = 8."
+
+Implementation: a cell's sources are replaced by K fixed monopoles on
+a sphere of radius ``a`` around the cell center whose *masses* are
+fitted so the pseudo set reproduces the cell's Cartesian multipole
+moments through order p.  Following Kawai & Makino, the fit uses the
+spherical-harmonic quadrature property of (near-)uniform sphere
+designs: with K >= (p+1)^2 well-distributed nodes the mass solve is a
+least-squares problem on the packed moment vector, solved once per
+cell (vectorized over cells).
+
+Evaluating a pseudo-cell costs K monopole interactions (28 flops
+each), versus one order-p Cartesian multipole interaction — the
+efficiency comparison the paper reports is regenerated in
+``benchmarks/bench_alternatives.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .multiindex import multi_index_set
+
+__all__ = ["sphere_nodes", "PseudoParticleCell", "fit_pseudo_masses"]
+
+
+def sphere_nodes(k: int, seed: int = 0) -> np.ndarray:
+    """K well-distributed unit vectors (Fibonacci spiral sphere)."""
+    if k < 1:
+        raise ValueError("need at least one node")
+    i = np.arange(k) + 0.5
+    phi = np.pi * (1.0 + 5.0**0.5) * i
+    z = 1.0 - 2.0 * i / k
+    r = np.sqrt(np.maximum(1.0 - z * z, 0.0))
+    return np.stack([r * np.cos(phi), r * np.sin(phi), z], axis=1)
+
+
+def fit_pseudo_masses(
+    moments: np.ndarray,
+    p: int,
+    radius: float,
+    k: int | None = None,
+    fit_radii: tuple = (3.0, 6.0),
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fit pseudo-particle masses reproducing the order-p far field.
+
+    Monopoles constrained to a sphere cannot reproduce arbitrary
+    Cartesian moments — the sphere constraint x^2+y^2+z^2 = a^2 ties
+    the trace components together — but they *can* reproduce any
+    harmonic (trace-free) far field through degree p, which is all that
+    matters for a 1/r kernel.  Following the spirit of Kawai & Makino,
+    the masses are therefore fitted in field space: least squares on
+    the expansion's potential sampled over spheres of radius
+    ``fit_radii`` x a (two radii separate the multipole degrees by
+    their radial decay).
+
+    Parameters
+    ----------
+    moments:
+        Packed Cartesian moments about the cell center (length >=
+        n_coeffs(p); extra entries ignored).
+    radius:
+        Pseudo-particle sphere radius a.
+    k:
+        Number of pseudo-particles (default 2 (p+1)^2).
+
+    Returns (positions (K, 3) relative to the center, masses (K,)).
+    """
+    from .expansion import m2p
+
+    mis = multi_index_set(p)
+    k = k or 2 * (p + 1) ** 2
+    nodes = sphere_nodes(k) * radius
+    target_m = np.asarray(moments, dtype=np.float64)[: len(mis)]
+    eval_pts = np.concatenate(
+        [sphere_nodes(2 * k) * (f * radius) for f in fit_radii]
+    )
+    target_pot, _ = m2p(target_m, np.zeros(3), eval_pts, p)
+    d = eval_pts[:, None, :] - nodes[None, :, :]
+    design = 1.0 / np.sqrt(np.einsum("ijk,ijk->ij", d, d))
+    masses, *_ = np.linalg.lstsq(design, target_pot, rcond=None)
+    return nodes, masses
+
+
+class PseudoParticleCell:
+    """A cell's far field as K monopoles (the §2.2.2 alternative)."""
+
+    def __init__(self, moments: np.ndarray, center: np.ndarray, p: int, radius: float,
+                 k: int | None = None):
+        self.center = np.asarray(center, dtype=np.float64)
+        self.p = p
+        nodes, masses = fit_pseudo_masses(moments, p, radius, k)
+        self.positions = self.center + nodes
+        self.masses = masses
+
+    @property
+    def k(self) -> int:
+        return len(self.masses)
+
+    def field(self, targets: np.ndarray):
+        """(potential, acceleration) of the pseudo set at target points."""
+        t = np.atleast_2d(np.asarray(targets, dtype=np.float64))
+        d = t[:, None, :] - self.positions[None, :, :]
+        r = np.sqrt(np.einsum("ijk,ijk->ij", d, d))
+        pot = (self.masses / r).sum(axis=1)
+        acc = -np.einsum("j,ijk->ik", self.masses, d / r[:, :, None] ** 3)
+        return pot, acc
+
+    def flops_per_target(self) -> int:
+        """Monopole cost of one evaluation (paper's 28 flops/interaction)."""
+        return 28 * self.k

@@ -1,0 +1,72 @@
+"""Cost model of a message-passing machine.
+
+The paper's parallel algorithms are exercised on real data by
+:mod:`repro.parallel.comm`; wall-clock is *modeled* with the standard
+postal (alpha-beta) abstraction plus node structure, which is what the
+paper's own scalability arguments use implicitly ("number of
+communication buffers scaling as the number of processes squared",
+latency hiding, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineModel", "JAGUAR_LIKE", "CLUSTER_LIKE"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Alpha-beta communication model with node topology.
+
+    Attributes
+    ----------
+    latency_s:
+        Per-message latency alpha (seconds).
+    bandwidth_Bps:
+        Per-link bandwidth beta (bytes/second).
+    cores_per_node:
+        Ranks sharing one network endpoint.
+    node_bandwidth_Bps:
+        Injection bandwidth of one node (shared by its ranks).
+    flops_per_core:
+        Sustainable flop/s of one core for the gravity kernels (the
+        ~40%-of-peak figure the paper quotes).
+    memory_per_node_bytes:
+        For modelling the OpenMPI buffer blow-up of §3.1.
+    """
+
+    latency_s: float = 2e-6
+    bandwidth_Bps: float = 5e9
+    cores_per_node: int = 16
+    node_bandwidth_Bps: float = 1e10
+    flops_per_core: float = 8e9
+    memory_per_node_bytes: float = 32e9
+    name: str = "generic"
+
+    def ptp_time(self, nbytes: float) -> float:
+        """Point-to-point message time (postal model)."""
+        return self.latency_s + nbytes / self.bandwidth_Bps
+
+
+#: roughly a Cray XT5 node (Jaguar, the paper's Fig. 5 machine)
+JAGUAR_LIKE = MachineModel(
+    latency_s=5e-6,
+    bandwidth_Bps=3e9,
+    cores_per_node=16,
+    node_bandwidth_Bps=6e9,
+    flops_per_core=7e9,
+    memory_per_node_bytes=16e9,
+    name="jaguar-like",
+)
+
+#: a commodity cluster (Mustang-ish)
+CLUSTER_LIKE = MachineModel(
+    latency_s=1.5e-6,
+    bandwidth_Bps=4e9,
+    cores_per_node=24,
+    node_bandwidth_Bps=8e9,
+    flops_per_core=9e9,
+    memory_per_node_bytes=64e9,
+    name="cluster-like",
+)

@@ -1,0 +1,48 @@
+"""Performance models: machine catalog, flop accounting, scaling, checkpoints."""
+
+from .checkpoint import (
+    CheckpointPlan,
+    expected_overhead,
+    optimal_interval,
+    simulate_run,
+)
+from .io import (
+    FileSystemModel,
+    LUSTRE_ORNL,
+    PANASAS_LANL,
+    checkpoint_write_time,
+)
+from .flops import (
+    FLOPS_PER_MONOPOLE_PP,
+    flops_per_cell_interaction,
+    flops_per_particle,
+)
+from .machines import TABLE1_MACHINES, TABLE3_PROCESSORS, Machine, Processor
+from .scaling import (
+    ScalingInputs,
+    StageBreakdown,
+    StrongScalingModel,
+    table2_breakdown,
+)
+
+__all__ = [
+    "CheckpointPlan",
+    "FileSystemModel",
+    "LUSTRE_ORNL",
+    "PANASAS_LANL",
+    "checkpoint_write_time",
+    "FLOPS_PER_MONOPOLE_PP",
+    "Machine",
+    "Processor",
+    "ScalingInputs",
+    "StageBreakdown",
+    "StrongScalingModel",
+    "TABLE1_MACHINES",
+    "TABLE3_PROCESSORS",
+    "expected_overhead",
+    "flops_per_cell_interaction",
+    "flops_per_particle",
+    "optimal_interval",
+    "simulate_run",
+    "table2_breakdown",
+]

@@ -1,0 +1,13 @@
+"""Simulation pipeline management: config metaprogramming and stask."""
+
+from .config import PipelineSpec, expand_grid
+from .stask import Allocation, STaskQueue, Task, map_reduce
+
+__all__ = [
+    "Allocation",
+    "PipelineSpec",
+    "STaskQueue",
+    "Task",
+    "expand_grid",
+    "map_reduce",
+]

@@ -1,0 +1,165 @@
+"""Power-spectrum grids and MCMC analysis (paper §3.4.1).
+
+"It has also proven useful to manage tens of thousands of independent
+tasks for MapReduce style jobs on HPC hardware.  For instance, we have
+used this approach to generate 6-dimensional grids of cosmological
+power spectra, as well as perform Markov-Chain Monte Carlo analyses."
+
+This module supplies those two workloads as working code:
+
+* :class:`PowerSpectrumGrid` — tabulate P(k) over a grid of cosmology
+  parameters (each grid point is one independent map task; a helper
+  schedules the whole grid through the stask queue for the cost
+  accounting) with multilinear interpolation between points,
+* :func:`mcmc_fit` — a Metropolis-Hastings sampler fitting cosmology
+  parameters to a measured P(k) using the grid as the (fast) model —
+  the standard emulator pattern the paper's analyses rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cosmology import CosmologyParams, LinearPower
+from .stask import Allocation, STaskQueue, Task
+
+__all__ = ["PowerSpectrumGrid", "mcmc_fit", "schedule_grid"]
+
+
+@dataclass
+class PowerSpectrumGrid:
+    """P(k) tabulated on a rectangular grid of cosmological parameters.
+
+    ``axes`` maps parameter names (fields of CosmologyParams) to sorted
+    1-d sample arrays; the table holds log P on the Cartesian product.
+    """
+
+    axes: dict
+    k: np.ndarray
+    log_power: np.ndarray  # shape (*[len(v) for v in axes.values()], len(k))
+    base: CosmologyParams
+
+    @classmethod
+    def build(
+        cls,
+        base: CosmologyParams,
+        axes: dict,
+        k: np.ndarray,
+        a: float = 1.0,
+    ) -> "PowerSpectrumGrid":
+        """Evaluate the grid (the MapReduce 'map' side, run inline)."""
+        names = list(axes)
+        shapes = [len(axes[n]) for n in names]
+        out = np.empty(shapes + [len(k)])
+        for idx in itertools.product(*(range(s) for s in shapes)):
+            changes = {n: float(axes[n][i]) for n, i in zip(names, idx)}
+            params = _with_flat(base, changes)
+            lp = LinearPower(params)
+            out[idx] = np.log(lp.power(k, a=a))
+        return cls(axes={n: np.asarray(v, dtype=float) for n, v in axes.items()},
+                   k=np.asarray(k, dtype=float), log_power=out, base=base)
+
+    @property
+    def n_points(self) -> int:
+        n = 1
+        for v in self.axes.values():
+            n *= len(v)
+        return n
+
+    def interpolate(self, **params) -> np.ndarray:
+        """Multilinear interpolation of P(k) at arbitrary parameters."""
+        names = list(self.axes)
+        missing = set(names) - set(params)
+        if missing:
+            raise ValueError(f"missing parameters: {sorted(missing)}")
+        # locate each coordinate
+        los, ws = [], []
+        for n in names:
+            grid = self.axes[n]
+            x = float(params[n])
+            if x < grid[0] or x > grid[-1]:
+                raise ValueError(f"{n}={x} outside grid [{grid[0]}, {grid[-1]}]")
+            j = np.clip(np.searchsorted(grid, x) - 1, 0, len(grid) - 2)
+            los.append(int(j))
+            denom = grid[j + 1] - grid[j]
+            ws.append((x - grid[j]) / denom if denom > 0 else 0.0)
+        acc = np.zeros(len(self.k))
+        for corner in itertools.product((0, 1), repeat=len(names)):
+            w = 1.0
+            idx = []
+            for c, lo, t in zip(corner, los, ws):
+                w *= t if c else (1.0 - t)
+                idx.append(lo + c)
+            if w:
+                acc += w * self.log_power[tuple(idx)]
+        return np.exp(acc)
+
+
+def _with_flat(base: CosmologyParams, changes: dict) -> CosmologyParams:
+    """Replace fields, re-closing flatness through omega_de."""
+    p = base.with_(**changes)
+    return p.with_(omega_de=1.0 - p.omega_m - p.omega_r)
+
+
+def schedule_grid(grid_points: int, cores_per_task: int = 64,
+                  task_seconds: float = 600.0,
+                  allocation: Allocation | None = None) -> dict:
+    """Schedule a grid build as stask map tasks; returns queue stats."""
+    alloc = allocation or Allocation(cores=4096, walltime_s=7 * 24 * 3600)
+    q = STaskQueue(alloc)
+    for i in range(grid_points):
+        q.submit(Task(name=f"pk{i}", cores=cores_per_task, duration_s=task_seconds))
+    return q.run()
+
+
+def mcmc_fit(
+    grid: PowerSpectrumGrid,
+    k_data: np.ndarray,
+    p_data: np.ndarray,
+    sigma_frac: float = 0.05,
+    n_steps: int = 4000,
+    step_frac: float = 0.04,
+    seed: int = 0,
+    burn: int = 500,
+) -> dict:
+    """Metropolis-Hastings over the grid's parameters.
+
+    Gaussian likelihood on ln P with fractional errors ``sigma_frac``;
+    flat priors over the grid extent.  Returns posterior means, stds
+    and the acceptance rate.
+    """
+    rng = np.random.default_rng(seed)
+    names = list(grid.axes)
+    lo = np.array([grid.axes[n][0] for n in names])
+    hi = np.array([grid.axes[n][-1] for n in names])
+    theta = 0.5 * (lo + hi)
+    step = step_frac * (hi - lo)
+    logp_data = np.interp(grid.k, k_data, np.log(p_data))
+
+    def loglike(t):
+        model = grid.interpolate(**dict(zip(names, t)))
+        resid = (np.log(model) - logp_data) / sigma_frac
+        return -0.5 * float(resid @ resid)
+
+    ll = loglike(theta)
+    chain = np.empty((n_steps, len(names)))
+    accepted = 0
+    for i in range(n_steps):
+        prop = theta + step * rng.standard_normal(len(names))
+        if np.all(prop >= lo) and np.all(prop <= hi):
+            llp = loglike(prop)
+            if llp - ll > np.log(rng.random()):
+                theta, ll = prop, llp
+                accepted += 1
+        chain[i] = theta
+    post = chain[min(burn, n_steps // 4):]
+    return {
+        "names": names,
+        "mean": dict(zip(names, post.mean(axis=0))),
+        "std": dict(zip(names, post.std(axis=0))),
+        "acceptance": accepted / n_steps,
+        "chain": chain,
+    }

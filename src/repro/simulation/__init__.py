@@ -1,0 +1,19 @@
+"""Cosmological simulation: ICs, symplectic integration, driver."""
+
+from .driver import Simulation, SimulationConfig
+from .ic import ICConfig, gaussian_field, generate_ic
+from .integrator import LeapfrogIntegrator, StepController
+from .lightcone import LightConeRecorder
+from .particles import ParticleSet
+
+__all__ = [
+    "ICConfig",
+    "LeapfrogIntegrator",
+    "LightConeRecorder",
+    "ParticleSet",
+    "Simulation",
+    "SimulationConfig",
+    "StepController",
+    "gaussian_field",
+    "generate_ic",
+]

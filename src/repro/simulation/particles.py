@@ -1,0 +1,85 @@
+"""Particle state for cosmological N-body integration.
+
+Code units (see :mod:`repro.cosmology.timeintegrals`): comoving
+positions in the unit box, time in 1/H0, G = 1, and canonical momenta
+p = a^2 dx/dt so the Quinn et al. (1997) symplectic operators apply.
+Structure-of-arrays layout per the guides (and per HOT itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ParticleSet"]
+
+
+@dataclass
+class ParticleSet:
+    """Positions, canonical momenta, masses and identities.
+
+    Attributes
+    ----------
+    pos:
+        (N, 3) comoving positions in [0, 1).
+    mom:
+        (N, 3) canonical momenta a^2 dx/dt (1/H0 time units).
+    mass:
+        (N,) masses in code units (sum = 3 Omega_m / 8 pi for a full box).
+    ids:
+        (N,) stable particle identifiers (Lagrangian grid index for
+        simulation ICs).
+    a:
+        Scale factor at which ``pos`` is defined.
+    a_mom:
+        Scale factor at which ``mom`` is defined.  A half-step offset
+        between the two is the natural state of a leapfrog; 2HOT's
+        checkpoints preserve it (§2.3), and so does this container.
+    """
+
+    pos: np.ndarray
+    mom: np.ndarray
+    mass: np.ndarray
+    ids: np.ndarray
+    a: float
+    a_mom: float
+
+    def __post_init__(self):
+        self.pos = np.ascontiguousarray(self.pos, dtype=np.float64)
+        self.mom = np.ascontiguousarray(self.mom, dtype=np.float64)
+        self.mass = np.ascontiguousarray(self.mass, dtype=np.float64)
+        self.ids = np.ascontiguousarray(self.ids, dtype=np.int64)
+        n = len(self.pos)
+        if not (len(self.mom) == len(self.mass) == len(self.ids) == n):
+            raise ValueError("inconsistent particle array lengths")
+
+    def __len__(self) -> int:
+        return len(self.pos)
+
+    def wrap(self) -> None:
+        """Periodic wrap of positions into [0, 1)."""
+        np.mod(self.pos, 1.0, out=self.pos)
+
+    def copy(self) -> "ParticleSet":
+        return ParticleSet(
+            pos=self.pos.copy(),
+            mom=self.mom.copy(),
+            mass=self.mass.copy(),
+            ids=self.ids.copy(),
+            a=self.a,
+            a_mom=self.a_mom,
+        )
+
+    @property
+    def total_mass(self) -> float:
+        return float(self.mass.sum())
+
+    def kinetic_energy(self) -> float:
+        """Peculiar kinetic energy T = sum m v^2 / 2 with v = p/a
+        (peculiar velocity a*dx/dt), evaluated at the momentum epoch."""
+        v2 = np.einsum("ij,ij->i", self.mom, self.mom) / self.a_mom**2
+        return 0.5 * float((self.mass * v2).sum())
+
+    def momentum_total(self) -> np.ndarray:
+        return (self.mass[:, None] * self.mom).sum(axis=0)

@@ -1,0 +1,295 @@
+"""Adaptive hashed oct-tree construction (paper §3.2).
+
+The build is the WS93 recipe, fully vectorized: particles are mapped
+to space-filling-curve keys, sorted (so that every cell of the tree is
+a *contiguous slice* of the particle arrays), and cells are
+materialized level by level by detecting runs of equal key prefixes.
+A cell with more than ``nleaf`` bodies is split; its children are the
+non-empty octants.
+
+For background subtraction (§2.2.1) the tree can also materialize
+*ghost cells* for the empty octants of every split cell: a direct
+summation would simply skip empty space, but once the uniform
+background is subtracted an empty cube carries (negative) moments that
+must be included.  Ghosts are always leaves.
+
+Cells are stored structure-of-arrays; a :class:`~repro.keys.HashTable`
+maps keys to cell indices, preserving the "any cell is addressable by
+its key" property that gives HOT its name (and that the parallel
+request/reply traversal of §3.2 relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..keys import HashTable, KEY_BITS, cell_geometry, keys_from_positions
+
+__all__ = ["Tree", "build_tree"]
+
+
+@dataclass
+class Tree:
+    """An adaptive oct-tree over a particle set in [0, box)^3.
+
+    Particle arrays are stored in key-sorted order; ``order`` maps
+    sorted index -> original index so results can be unsorted.
+    """
+
+    box: float
+    nleaf: int
+    # particles (sorted by key)
+    pos: np.ndarray  # (N, 3)
+    mass: np.ndarray  # (N,)
+    keys: np.ndarray  # (N,) uint64
+    order: np.ndarray  # (N,) original indices
+    # cells (SoA)
+    cell_key: np.ndarray  # (C,) uint64
+    cell_level: np.ndarray  # (C,)
+    cell_parent: np.ndarray  # (C,)
+    cell_first_child: np.ndarray  # (C,) -1 for leaves
+    cell_nchildren: np.ndarray  # (C,)
+    cell_start: np.ndarray  # (C,) first particle index
+    cell_count: np.ndarray  # (C,) number of particles
+    cell_is_ghost: np.ndarray  # (C,) bool
+    cell_center: np.ndarray  # (C, 3)
+    cell_side: np.ndarray  # (C,)
+    hash: HashTable = field(repr=False)
+
+    @property
+    def n_particles(self) -> int:
+        return len(self.pos)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cell_key)
+
+    @property
+    def is_leaf(self) -> np.ndarray:
+        return self.cell_first_child < 0
+
+    @property
+    def leaf_indices(self) -> np.ndarray:
+        """Indices of real (non-ghost) leaf cells, each owning particles."""
+        return np.flatnonzero(self.is_leaf & ~self.cell_is_ghost)
+
+    @property
+    def max_level(self) -> int:
+        return int(self.cell_level.max())
+
+    def cells_at_level(self, level: int) -> np.ndarray:
+        return np.flatnonzero(self.cell_level == level)
+
+    def leaf_of_particle(self) -> np.ndarray:
+        """Map (sorted) particle index -> owning leaf cell index."""
+        leaves = self.leaf_indices
+        starts = self.cell_start[leaves]
+        order = np.argsort(starts)
+        leaves = leaves[order]
+        starts = starts[order]
+        idx = np.searchsorted(starts, np.arange(self.n_particles), side="right") - 1
+        return leaves[idx]
+
+    def validate(self) -> None:
+        """Structural invariant checks (used by tests and debugging)."""
+        leaves = self.leaf_indices
+        counts = self.cell_count[leaves]
+        if counts.sum() != self.n_particles:
+            raise AssertionError("leaves do not partition the particles")
+        # contiguity: sorted leaf ranges tile [0, N)
+        leaves_sorted = leaves[np.argsort(self.cell_start[leaves])]
+        s = self.cell_start[leaves_sorted]
+        c = self.cell_count[leaves_sorted]
+        if s[0] != 0 or np.any(s[1:] != (s[:-1] + c[:-1])) or s[-1] + c[-1] != self.n_particles:
+            raise AssertionError("leaf ranges are not a partition")
+        # children consistency
+        internal = np.flatnonzero(~self.is_leaf)
+        for i in internal[: min(len(internal), 2048)]:
+            fc = self.cell_first_child[i]
+            nc = self.cell_nchildren[i]
+            kids = np.arange(fc, fc + nc)
+            if not np.all(self.cell_parent[kids] == i):
+                raise AssertionError("child parent pointers broken")
+            real = ~self.cell_is_ghost[kids]
+            if self.cell_count[kids][real].sum() != self.cell_count[i]:
+                raise AssertionError("child counts do not sum to parent count")
+
+
+def build_tree(
+    pos: np.ndarray,
+    mass: np.ndarray,
+    box: float = 1.0,
+    nleaf: int = 16,
+    with_ghosts: bool = False,
+) -> Tree:
+    """Build the adaptive oct-tree.
+
+    Parameters
+    ----------
+    pos, mass:
+        Particle positions in [0, box)^3 and masses.
+    nleaf:
+        Maximum bodies per leaf before a cell splits.
+    with_ghosts:
+        Materialize empty-octant ghost cells (needed for background
+        subtraction).
+    """
+    pos = np.ascontiguousarray(pos, dtype=np.float64)
+    mass = np.ascontiguousarray(mass, dtype=np.float64)
+    n = len(pos)
+    if n == 0:
+        raise ValueError("cannot build a tree with no particles")
+    if not np.all(np.isfinite(pos)):
+        raise ValueError("positions must be finite")
+    if np.any(pos < 0.0) or np.any(pos >= box * (1 + 1e-12)):
+        raise ValueError("positions must lie in [0, box)^3")
+    keys = keys_from_positions(pos, box)
+    order = np.argsort(keys, kind="stable")
+    skeys = keys[order]
+    spos = pos[order]
+    smass = mass[order]
+
+    key_l = [np.array([1], dtype=np.uint64)]
+    level_l = [np.array([0], dtype=np.int32)]
+    parent_l = [np.array([-1], dtype=np.int64)]
+    start_l = [np.array([0], dtype=np.int64)]
+    count_l = [np.array([n], dtype=np.int64)]
+    ghost_l = [np.array([False])]
+    first_child = [np.array([-1], dtype=np.int64)]
+    nchildren = [np.array([0], dtype=np.int64)]
+
+    n_cells = 1
+    if n > nleaf:
+        act_start = np.array([0], dtype=np.int64)
+        act_end = np.array([n], dtype=np.int64)
+        act_id = np.array([0], dtype=np.int64)
+    else:
+        act_start = np.empty(0, dtype=np.int64)
+        act_end = act_start
+        act_id = act_start
+
+    for level in range(1, KEY_BITS + 1):
+        if len(act_id) == 0:
+            break
+        shift = np.uint64(3 * (KEY_BITS - level))
+        pref = skeys >> shift
+        change = np.flatnonzero(pref[1:] != pref[:-1]) + 1
+        starts_all = np.concatenate([[0], change]).astype(np.int64)
+        ends_all = np.concatenate([change, [n]]).astype(np.int64)
+        # keep runs starting inside an active (splitting) parent range
+        j = np.searchsorted(act_start, starts_all, side="right") - 1
+        valid = j >= 0
+        valid[valid] &= starts_all[valid] < act_end[j[valid]]
+        starts = starts_all[valid]
+        ends = ends_all[valid]
+        parents = act_id[j[valid]]
+
+        base = n_cells
+        new_keys = pref[starts]
+        new_count = ends - starts
+        m = len(starts)
+        key_l.append(new_keys)
+        level_l.append(np.full(m, level, dtype=np.int32))
+        parent_l.append(parents)
+        start_l.append(starts)
+        count_l.append(new_count)
+        ghost_l.append(np.zeros(m, dtype=bool))
+        first_child.append(np.full(m, -1, dtype=np.int64))
+        nchildren.append(np.zeros(m, dtype=np.int64))
+        n_cells += m
+
+        # ghosts for missing octants of each split parent
+        if with_ghosts:
+            upar, inv = np.unique(parents, return_inverse=True)
+            present = np.zeros((len(upar), 8), dtype=bool)
+            digits = (new_keys & np.uint64(7)).astype(np.int64)
+            present[inv, digits] = True
+            gp, gd = np.nonzero(~present)
+            if len(gp):
+                # parent key = (any real child's key) >> 3
+                first_of = np.full(len(upar), m, dtype=np.int64)
+                np.minimum.at(first_of, inv, np.arange(m))
+                parent_keys = new_keys[first_of[gp]] >> np.uint64(3)
+                gkeys = (parent_keys << np.uint64(3)) | gd.astype(np.uint64)
+                gm = len(gkeys)
+                key_l.append(gkeys)
+                level_l.append(np.full(gm, level, dtype=np.int32))
+                parent_l.append(upar[gp])
+                start_l.append(np.zeros(gm, dtype=np.int64))
+                count_l.append(np.zeros(gm, dtype=np.int64))
+                ghost_l.append(np.ones(gm, dtype=bool))
+                first_child.append(np.full(gm, -1, dtype=np.int64))
+                nchildren.append(np.zeros(gm, dtype=np.int64))
+                n_cells += gm
+
+        split = (new_count > nleaf) & (level < KEY_BITS)
+        act_start = starts[split]
+        act_end = ends[split]
+        act_id = base + np.flatnonzero(split)
+
+    ckey = np.concatenate(key_l)
+    clevel = np.concatenate(level_l)
+    cparent = np.concatenate(parent_l)
+    cstart = np.concatenate(start_l)
+    ccount = np.concatenate(count_l)
+    cghost = np.concatenate(ghost_l)
+    cfirst = np.concatenate(first_child)
+    cnchild = np.concatenate(nchildren)
+
+    # children of a given parent are NOT contiguous when ghosts are
+    # interleaved; reorder cells so that all children of one parent sit
+    # together: sort by (level, key) — same-parent children share a key
+    # prefix so (level, key) groups them contiguously and in octant order.
+    sort_idx = np.lexsort((ckey, clevel))
+    remap = np.empty(len(sort_idx), dtype=np.int64)
+    remap[sort_idx] = np.arange(len(sort_idx))
+    ckey = ckey[sort_idx]
+    clevel = clevel[sort_idx]
+    cstart = cstart[sort_idx]
+    ccount = ccount[sort_idx]
+    cghost = cghost[sort_idx]
+    cparent = cparent[sort_idx]
+    cparent = np.where(cparent >= 0, remap[cparent], -1)
+
+    # rebuild child pointers from parents
+    cfirst = np.full(n_cells, -1, dtype=np.int64)
+    cnchild = np.zeros(n_cells, dtype=np.int64)
+    has_parent = cparent >= 0
+    if np.any(has_parent):
+        kids = np.flatnonzero(has_parent)
+        pk = cparent[kids]
+        # kids are sorted by (level, key): children of one parent are a
+        # contiguous run of kids
+        firsts = np.ones(len(kids), dtype=bool)
+        firsts[1:] = pk[1:] != pk[:-1]
+        runs = np.flatnonzero(firsts)
+        run_parent = pk[runs]
+        run_len = np.diff(np.concatenate([runs, [len(kids)]]))
+        cfirst[run_parent] = kids[runs]
+        cnchild[run_parent] = run_len
+
+    center, side = cell_geometry(ckey, box)
+    ht = HashTable(2 * n_cells)
+    ht.insert(ckey, np.arange(n_cells, dtype=np.int64))
+
+    return Tree(
+        box=box,
+        nleaf=nleaf,
+        pos=spos,
+        mass=smass,
+        keys=skeys,
+        order=order,
+        cell_key=ckey,
+        cell_level=clevel,
+        cell_parent=cparent,
+        cell_first_child=cfirst,
+        cell_nchildren=cnchild,
+        cell_start=cstart,
+        cell_count=ccount,
+        cell_is_ghost=cghost,
+        cell_center=center,
+        cell_side=side,
+        hash=ht,
+    )

@@ -1,0 +1,67 @@
+"""Tests for drift/kick integrals (repro.cosmology.timeintegrals)."""
+
+import math
+
+import pytest
+
+from repro.cosmology import (
+    EDS,
+    PLANCK2013,
+    DriftKickIntegrals,
+    code_mean_density,
+    code_particle_mass,
+)
+
+
+class TestCodeUnits:
+    def test_mean_density(self):
+        assert code_mean_density(EDS) == pytest.approx(3.0 / (8.0 * math.pi))
+
+    def test_particle_mass_sums_to_density(self):
+        n = 4096
+        m = code_particle_mass(PLANCK2013, n)
+        assert m * n == pytest.approx(code_mean_density(PLANCK2013))
+
+
+class TestDriftKick:
+    def test_zero_interval(self):
+        dk = DriftKickIntegrals(PLANCK2013)
+        assert dk.drift_factor(0.5, 0.5) == 0.0
+        assert dk.kick_factor(0.5, 0.5) == 0.0
+
+    def test_eds_analytic_drift(self):
+        """EdS: E = a^{-3/2}, so drift = ∫ a^{-3/2} da = 2(√a1 - √a0)...
+        wait: 1/(a^3 E) = a^{-3/2}; ∫ = 2(a1^{-1/2}... check sign."""
+        dk = DriftKickIntegrals(EDS)
+        a0, a1 = 0.25, 1.0
+        # ∫ a^{-3/2} da = -2 a^{-1/2}
+        expected = -2.0 * (a1**-0.5 - a0**-0.5)
+        assert dk.drift_factor(a0, a1) == pytest.approx(expected, rel=1e-10)
+
+    def test_eds_analytic_kick(self):
+        dk = DriftKickIntegrals(EDS)
+        a0, a1 = 0.25, 1.0
+        # 1/(a^2 E) = a^{-1/2}; ∫ = 2 √a
+        expected = 2.0 * (math.sqrt(a1) - math.sqrt(a0))
+        assert dk.kick_factor(a0, a1) == pytest.approx(expected, rel=1e-10)
+
+    def test_eds_time_interval(self):
+        dk = DriftKickIntegrals(EDS)
+        # t(a) = (2/3) a^{3/2} in 1/H0 units
+        assert dk.time_interval(0.0, 1.0) == pytest.approx(2.0 / 3.0, rel=1e-8)
+
+    def test_additivity(self):
+        dk = DriftKickIntegrals(PLANCK2013)
+        whole = dk.kick_factor(0.1, 0.9)
+        split = dk.kick_factor(0.1, 0.5) + dk.kick_factor(0.5, 0.9)
+        assert whole == pytest.approx(split, rel=1e-10)
+
+    def test_positivity_forward(self):
+        dk = DriftKickIntegrals(PLANCK2013)
+        assert dk.drift_factor(0.2, 0.4) > 0
+        assert dk.kick_factor(0.2, 0.4) > 0
+
+    def test_drift_exceeds_kick_early(self):
+        """At a < 1 the 1/a^3 drift weight dominates the 1/a^2 kick weight."""
+        dk = DriftKickIntegrals(PLANCK2013)
+        assert dk.drift_factor(0.02, 0.03) > dk.kick_factor(0.02, 0.03)

@@ -1,0 +1,218 @@
+"""Tests for the §2.2.2 alternatives: cell-cell FMM and pseudo-particles."""
+
+import numpy as np
+import pytest
+
+from repro.gravity import direct_accelerations, make_softening
+from repro.gravity.fmm import FMMConfig, FMMGravity, traverse_cell_cell
+from repro.multipoles import m2p, p2m
+from repro.multipoles.pseudoparticle import (
+    PseudoParticleCell,
+    fit_pseudo_masses,
+    sphere_nodes,
+)
+from repro.tree import build_tree, compute_moments
+
+
+def cloud(n=2048, seed=3, clustered=False):
+    rng = np.random.default_rng(seed)
+    if clustered:
+        c = rng.random((5, 3))
+        pos = (c[rng.integers(0, 5, n)] + 0.04 * rng.standard_normal((n, 3))) % 1.0
+    else:
+        pos = rng.random((n, 3))
+    return pos, np.full(n, 1.0 / n)
+
+
+class TestCellCellTraversal:
+    def test_mass_coverage(self):
+        """Every particle's force receives every source exactly once:
+        for each leaf, {M2L sources of its ancestor chain} + {direct
+        leaf partners} partition the box mass."""
+        pos, mass = cloud(600)
+        tree = build_tree(pos, mass, nleaf=8)
+        moms = compute_moments(tree, p=2, tol=1e30)
+        lists = traverse_cell_cell(tree, moms, theta=0.6)
+        # ancestors of each cell
+        total = mass.sum()
+        m2l_by_sink: dict = {}
+        for s, c in zip(lists.m2l_sink, lists.m2l_src):
+            st, ct = tree.cell_start[c], tree.cell_count[c]
+            m2l_by_sink.setdefault(s, 0.0)
+            m2l_by_sink[s] += tree.mass[st : st + ct].sum()
+        direct_by_leaf: dict = {}
+        for a, b in zip(lists.leaf_a, lists.leaf_b):
+            st, ct = tree.cell_start[b], tree.cell_count[b]
+            direct_by_leaf.setdefault(a, 0.0)
+            direct_by_leaf[a] += tree.mass[st : st + ct].sum()
+        for leaf in tree.leaf_indices:
+            acc = direct_by_leaf.get(leaf, 0.0)
+            node = leaf
+            while node >= 0:
+                acc += m2l_by_sink.get(node, 0.0)
+                node = tree.cell_parent[node]
+            assert acc == pytest.approx(total, rel=1e-9)
+
+    def test_ordered_pairs_unique(self):
+        pos, mass = cloud(500, seed=5)
+        tree = build_tree(pos, mass, nleaf=8)
+        moms = compute_moments(tree, p=2, tol=1e30)
+        lists = traverse_cell_cell(tree, moms, theta=0.6)
+        pairs = set(zip(lists.m2l_sink, lists.m2l_src))
+        assert len(pairs) == lists.n_m2l()
+        near = list(zip(lists.leaf_a, lists.leaf_b))
+        assert len(set(near)) == len(near)
+
+    def test_both_directions_covered_possibly_at_different_granularity(self):
+        """The ordered frontier resolves the two directions of a region
+        pair independently (ties split the first element), so a sink may
+        see a coarser cell than its mirror — both directions must still
+        be *covered*: every (sink, src) has the reverse region covered by
+        src-side pairs whose sinks are src or its descendants/ancestors.
+        The mass-coverage test above is the strong form; here we check
+        the pair multiset at least touches each unordered region pair
+        from both sides."""
+        pos, mass = cloud(500, seed=6)
+        tree = build_tree(pos, mass, nleaf=8)
+        moms = compute_moments(tree, p=2, tol=1e30)
+        lists = traverse_cell_cell(tree, moms, theta=0.6)
+        sinks = set(lists.m2l_sink.tolist())
+        srcs = set(lists.m2l_src.tolist())
+        parents = tree.cell_parent
+        # every cell acting as a source also receives field, directly,
+        # through an ancestor, or through its descendants (the mirror may
+        # be resolved at finer granularity)
+        has_sink_below = set(sinks)
+        for c in np.argsort(-tree.cell_level):  # bottom-up
+            p = parents[c]
+            if p >= 0 and int(c) in has_sink_below:
+                has_sink_below.add(int(p))
+        for c in srcs:
+            node = c
+            found = int(c) in has_sink_below
+            while not found and node >= 0:
+                if node in sinks:
+                    found = True
+                node = parents[node]
+            assert found
+
+
+class TestFMMAccuracy:
+    @pytest.mark.parametrize("clustered", [False, True])
+    def test_matches_direct(self, clustered):
+        pos, mass = cloud(1500, seed=1, clustered=clustered)
+        eps = 1e-3
+        res = FMMGravity(FMMConfig(p=4, p_local=4, theta=0.45, eps=eps)).compute(
+            pos, mass
+        )
+        ref = direct_accelerations(pos, mass, softening=make_softening("plummer", eps))
+        rel = np.linalg.norm(res.acc - ref, axis=1) / np.linalg.norm(ref, axis=1).mean()
+        assert np.median(rel) < 1e-3
+        assert rel.max() < 3e-2
+
+    def test_potential_matches(self):
+        pos, mass = cloud(1000, seed=2)
+        res = FMMGravity(FMMConfig(p=4, p_local=4, theta=0.45, eps=1e-3)).compute(
+            pos, mass
+        )
+        _, pref = direct_accelerations(
+            pos, mass, softening=make_softening("plummer", 1e-3), want_potential=True
+        )
+        assert np.abs(res.pot - pref).max() / np.abs(pref).mean() < 1e-2
+
+    def test_theta_controls_error(self):
+        pos, mass = cloud(1200, seed=7)
+        ref = direct_accelerations(pos, mass, softening=make_softening("plummer", 1e-3))
+
+        def err(theta):
+            r = FMMGravity(FMMConfig(p=4, p_local=4, theta=theta, eps=1e-3)).compute(
+                pos, mass
+            )
+            return np.median(
+                np.linalg.norm(r.acc - ref, axis=1) / np.linalg.norm(ref, axis=1).mean()
+            )
+
+        assert err(0.35) < err(0.65)
+
+    def test_errors_grow_toward_local_expansion_edges(self):
+        """The paper's §2.2.2 objection, measured directly: "the behavior
+        of the errors near the outer regions of local expansions" —
+        particles near the edge of their (leaf-level) local-expansion
+        cell carry systematically larger errors than particles near the
+        center, which is what forces either higher local order or
+        smaller expansion cells."""
+        pos, mass = cloud(2048, seed=4)
+        ref = direct_accelerations(pos, mass, softening=make_softening("plummer", 1e-3))
+        solver = FMMGravity(FMMConfig(p=3, p_local=3, theta=0.6, eps=1e-3))
+        res = solver.compute(pos, mass)
+        err = np.linalg.norm(res.acc - ref, axis=1)
+
+        from repro.keys import ancestor_key, cell_geometry, keys_from_positions
+
+        k = keys_from_positions(pos)
+        anc = ancestor_key(k, 3)  # the leaf level of this configuration
+        c, s = cell_geometry(anc)
+        u = np.abs(pos - c).max(axis=1) / (s / 2)
+        inner = np.median(err[u < 0.5])
+        outer = np.median(err[u > 0.8])
+        assert outer > 1.3 * inner
+
+
+class TestPseudoParticles:
+    def test_sphere_nodes_unit(self):
+        nodes = sphere_nodes(64)
+        np.testing.assert_allclose(np.linalg.norm(nodes, axis=1), 1.0, atol=1e-12)
+
+    def test_sphere_nodes_spread(self):
+        nodes = sphere_nodes(100)
+        # center of mass near zero for a good spread
+        assert np.abs(nodes.mean(axis=0)).max() < 0.05
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            sphere_nodes(0)
+
+    def test_fit_reproduces_monopole_and_harmonic_content(self):
+        """Total mass (l=0) is matched essentially exactly; trace parts of
+        the Cartesian moments are *not* (monopoles on a sphere cannot
+        carry them) — but those are field-irrelevant for 1/r."""
+        rng = np.random.default_rng(0)
+        pos = rng.random((200, 3)) - 0.5
+        mass = rng.random(200)
+        p = 3
+        m = p2m(pos, mass, np.zeros(3), p)
+        nodes, masses = fit_pseudo_masses(m, p, radius=1.2)
+        m_pseudo = p2m(nodes, masses, np.zeros(3), p)
+        assert m_pseudo[0] == pytest.approx(m[0], rel=1e-4)  # total mass
+        # dipole (pure l=1, trace-free) also matches
+        np.testing.assert_allclose(m_pseudo[1:4], m[1:4], rtol=1e-3,
+                                   atol=1e-4 * abs(m[0]))
+
+    @pytest.mark.parametrize("p", [2, 3, 4])
+    def test_far_field_matches_multipole(self, p):
+        """The pseudo set reproduces the order-p multipole field: both
+        deviate from direct summation only at order p+1."""
+        rng = np.random.default_rng(1)
+        pos = rng.random((256, 3)) - 0.5
+        mass = rng.random(256)
+        m = p2m(pos, mass, np.zeros(3), p)
+        cell = PseudoParticleCell(m, np.zeros(3), p, radius=1.2)
+        t = np.array([[4.0, 1.0, -2.0], [-3.0, 2.5, 1.0]])
+        pot_ps, acc_ps = cell.field(t)
+        pot_mp, acc_mp = m2p(m, np.zeros(3), t, p)
+        # agreement between the two representations is much tighter than
+        # either's truncation error
+        np.testing.assert_allclose(pot_ps, pot_mp, rtol=2e-4)
+        np.testing.assert_allclose(acc_ps, acc_mp, rtol=2e-3, atol=1e-8)
+
+    def test_cost_comparison_paper_claim(self):
+        """§2.2.2: pseudo-particles are *less efficient* than the coded
+        Cartesian kernels — K monopoles cost more flops than one
+        order-p interaction for every order tested up to 8."""
+        from repro.perfmodel import flops_per_cell_interaction
+
+        for p in (2, 4, 6, 8):
+            k = 2 * (p + 1) ** 2
+            pseudo_flops = 28 * k
+            cartesian_flops = flops_per_cell_interaction(p)
+            assert pseudo_flops > cartesian_flops

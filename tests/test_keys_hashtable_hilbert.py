@@ -1,0 +1,131 @@
+"""Tests for the hcell hash table and Hilbert keys."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.keys import (
+    HashTable,
+    hilbert_from_coords,
+    hilbert_keys_from_positions,
+    keys_from_positions,
+)
+
+
+class TestHashTable:
+    def test_insert_lookup(self):
+        ht = HashTable(8)
+        keys = np.array([5, 17, 123456], dtype=np.uint64)
+        ht.insert(keys, np.array([1, 2, 3]))
+        assert list(ht.lookup(keys)) == [1, 2, 3]
+
+    def test_missing_returns_default(self):
+        ht = HashTable(8)
+        ht.insert(np.array([42], dtype=np.uint64), np.array([7]))
+        assert ht.lookup(np.array([43], dtype=np.uint64), default=-99)[0] == -99
+
+    def test_zero_key_rejected(self):
+        ht = HashTable(8)
+        with pytest.raises(ValueError):
+            ht.insert(np.array([0], dtype=np.uint64), np.array([1]))
+
+    def test_length_mismatch(self):
+        ht = HashTable(8)
+        with pytest.raises(ValueError):
+            ht.insert(np.array([1, 2], dtype=np.uint64), np.array([1]))
+
+    def test_overwrite(self):
+        ht = HashTable(8)
+        ht.insert(np.array([9], dtype=np.uint64), np.array([1]))
+        ht.insert(np.array([9], dtype=np.uint64), np.array([2]))
+        assert ht.lookup(np.array([9], dtype=np.uint64))[0] == 2
+        assert len(ht) == 1
+
+    def test_batch_duplicate_keeps_last(self):
+        ht = HashTable(8)
+        ht.insert(np.array([9, 9], dtype=np.uint64), np.array([1, 2]))
+        assert ht.lookup(np.array([9], dtype=np.uint64))[0] == 2
+
+    def test_growth(self):
+        ht = HashTable(4)
+        keys = np.arange(1, 5000, dtype=np.uint64)
+        ht.insert(keys, keys.astype(np.int64))
+        assert ht.capacity >= 5000
+        assert np.array_equal(ht.lookup(keys), keys.astype(np.int64))
+
+    def test_adversarial_collisions(self):
+        """Keys that all hash to the same slot (same low bits) still work."""
+        ht = HashTable(64)
+        keys = (np.arange(1, 40, dtype=np.uint64) << np.uint64(20)) | np.uint64(5)
+        ht.insert(keys, np.arange(1, 40))
+        assert np.array_equal(ht.lookup(keys), np.arange(1, 40))
+
+    def test_contains(self):
+        ht = HashTable(8)
+        ht.insert(np.array([3, 5], dtype=np.uint64), np.array([0, 1]))
+        got = ht.contains(np.array([3, 4, 5], dtype=np.uint64))
+        assert list(got) == [True, False, True]
+
+    @given(st.lists(st.integers(min_value=1, max_value=2**62), min_size=1, max_size=300, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_random_roundtrip(self, keys):
+        ht = HashTable(4)
+        k = np.array(keys, dtype=np.uint64)
+        v = np.arange(len(k), dtype=np.int64)
+        ht.insert(k, v)
+        assert np.array_equal(ht.lookup(k), v)
+        assert len(ht) == len(k)
+
+    def test_real_tree_keys(self):
+        pos = np.random.default_rng(3).random((2000, 3))
+        keys = np.unique(keys_from_positions(pos))
+        ht = HashTable()
+        ht.insert(keys, np.arange(len(keys)))
+        assert np.array_equal(ht.lookup(keys), np.arange(len(keys)))
+
+
+class TestHilbert:
+    def test_bijection_small(self):
+        bits = 3
+        n = 1 << bits
+        gx, gy, gz = np.meshgrid(*[np.arange(n)] * 3, indexing="ij")
+        coords = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1)
+        h = hilbert_from_coords(coords, bits)
+        assert len(np.unique(h)) == n**3
+        assert h.max() == n**3 - 1
+
+    def test_adjacency(self):
+        """The defining Hilbert property: consecutive curve positions are
+        face-adjacent lattice sites (step distance exactly 1)."""
+        bits = 4
+        n = 1 << bits
+        gx, gy, gz = np.meshgrid(*[np.arange(n)] * 3, indexing="ij")
+        coords = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1)
+        h = hilbert_from_coords(coords, bits)
+        seq = coords[np.argsort(h)]
+        steps = np.abs(np.diff(seq.astype(int), axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    def test_positions_wrapper(self):
+        rng = np.random.default_rng(0)
+        pos = rng.random((100, 3))
+        h = hilbert_keys_from_positions(pos, bits=8)
+        assert h.dtype == np.uint64
+        assert len(np.unique(h)) > 90  # almost all distinct
+
+    def test_locality_beats_random(self):
+        """Mean 3-d distance between curve neighbors is much smaller than
+        between randomly ordered points (the SFC locality the domain
+        decomposition exploits)."""
+        rng = np.random.default_rng(1)
+        pos = rng.random((4000, 3))
+        h = hilbert_keys_from_positions(pos, bits=10)
+        seq = pos[np.argsort(h)]
+        d_curve = np.linalg.norm(np.diff(seq, axis=0), axis=1).mean()
+        d_rand = np.linalg.norm(np.diff(pos, axis=0), axis=1).mean()
+        assert d_curve < 0.25 * d_rand
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            hilbert_from_coords(np.zeros((3, 4), dtype=np.uint64), 4)

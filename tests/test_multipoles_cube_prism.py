@@ -1,0 +1,172 @@
+"""Tests for homogeneous-cube moments, prism forces and background subtraction."""
+
+import numpy as np
+import pytest
+
+from repro.multipoles import (
+    cube_interior_acceleration,
+    cube_moments,
+    m2p,
+    multi_index_set,
+    p2m,
+    prism_acceleration,
+    prism_potential,
+    subtract_background,
+)
+
+
+def grid_cube(n=24, side=1.0, center=(0, 0, 0)):
+    g = (np.arange(n) + 0.5) / n - 0.5
+    gx, gy, gz = np.meshgrid(g, g, g, indexing="ij")
+    pos = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1) * side + np.asarray(
+        center, dtype=float
+    )
+    mass = np.full(len(pos), side**3 / len(pos))  # unit density
+    return pos, mass
+
+
+class TestCubeMoments:
+    def test_monopole_is_mass(self):
+        m = cube_moments(4, 2.0, 3.0)
+        assert m[0] == pytest.approx(3.0 * 8.0)
+
+    def test_odd_moments_vanish(self):
+        mis = multi_index_set(5)
+        m = cube_moments(5, 1.3, 1.0)
+        odd = (mis.alphas % 2).sum(axis=1) > 0
+        assert np.all(m[odd] == 0.0)
+
+    def test_second_moment_value(self):
+        """M_(200) = rho * s^3 * s^2/12 for a cube of side s."""
+        mis = multi_index_set(2)
+        s, rho = 2.5, 0.7
+        m = cube_moments(2, s, rho)
+        assert m[mis.index[(2, 0, 0)]] == pytest.approx(rho * s**3 * s**2 / 12.0)
+
+    def test_matches_particle_grid(self):
+        pos, mass = grid_cube(n=32)
+        mg = p2m(pos, mass, np.zeros(3), 4)
+        mc = cube_moments(4, 1.0, 1.0)
+        # grid discretisation error ~ 1/n^2
+        np.testing.assert_allclose(mg, mc, atol=2e-4)
+
+    def test_batched_sides(self):
+        sides = np.array([1.0, 2.0])
+        m = cube_moments(3, sides, 1.0)
+        assert m.shape == (2, 20)
+        assert m[1, 0] == pytest.approx(8.0 * m[0, 0])
+
+
+class TestBackgroundSubtraction:
+    def test_uniform_cell_cancels_exactly(self):
+        """A uniform grid cell minus the mean background has (nearly)
+        zero moments — the whole point of §2.2.1."""
+        pos, mass = grid_cube(n=16)
+        m = p2m(pos, mass, np.zeros(3), 4)
+        dm = subtract_background(m, 1.0, 1.0, 4)
+        assert abs(dm[0]) < 1e-12  # monopole cancels exactly
+        assert np.abs(dm).max() < 1e-3  # higher moments cancel to grid error
+
+    def test_far_field_cancellation(self):
+        """The background-subtracted expansion of a near-uniform cell
+        produces a much smaller far field than the raw expansion."""
+        rng = np.random.default_rng(5)
+        pos = rng.random((4096, 3)) - 0.5
+        mass = np.full(4096, 1.0 / 4096)
+        m = p2m(pos, mass, np.zeros(3), 4)
+        dm = subtract_background(m, 1.0, 1.0, 4)
+        t = np.array([[6.0, 2.0, 1.0]])
+        _, acc_raw = m2p(m, np.zeros(3), t, 4)
+        _, acc_sub = m2p(dm, np.zeros(3), t, 4)
+        assert np.linalg.norm(acc_sub) < 0.1 * np.linalg.norm(acc_raw)
+
+    def test_negative_monopole_possible(self):
+        """Empty cells get pure-background (negative) moments."""
+        m = np.zeros(35)
+        dm = subtract_background(m, 1.0, 1.0, 4)
+        assert dm[0] == pytest.approx(-1.0)
+
+
+class TestPrism:
+    def test_potential_far_field_is_monopole(self):
+        p = prism_potential(np.array([[20.0, 0, 0]]), [-0.5] * 3, [0.5] * 3, 1.0)
+        assert p[0] == pytest.approx(1.0 / 20.0, rel=1e-3)
+
+    def test_acceleration_far_field(self):
+        a = prism_acceleration(np.array([[10.0, 0, 0]]), [-0.5] * 3, [0.5] * 3, 1.0)
+        assert a[0, 0] == pytest.approx(-0.01, rel=1e-3)
+        assert a[0, 1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_center_force_vanishes(self):
+        a = cube_interior_acceleration(np.zeros((1, 3)), np.zeros(3), 1.0, 1.0)
+        np.testing.assert_allclose(a, 0.0, atol=1e-12)
+
+    def test_interior_poisson_equation(self):
+        """Inside the cube the field satisfies Poisson's equation:
+        div(acc) = -4 pi rho with our acc = grad(U), U = rho ∫ dV/r."""
+        rho = 0.8
+        pt = np.array([0.17, -0.11, 0.23])
+        h = 1e-4
+        div = 0.0
+        for ax in range(3):
+            e = np.zeros(3)
+            e[ax] = h
+            ap = cube_interior_acceleration((pt + e)[None, :], np.zeros(3), 1.0, rho)
+            am = cube_interior_acceleration((pt - e)[None, :], np.zeros(3), 1.0, rho)
+            div += (ap[0, ax] - am[0, ax]) / (2 * h)
+        assert div == pytest.approx(-4.0 * np.pi * rho, rel=1e-5)
+
+    def test_exterior_laplace_equation(self):
+        """Outside the cube the potential is harmonic: div(acc) = 0."""
+        pt = np.array([1.3, 0.9, -0.8])
+        h = 1e-4
+        div = 0.0
+        for ax in range(3):
+            e = np.zeros(3)
+            e[ax] = h
+            ap = prism_acceleration((pt + e)[None, :], [-0.5] * 3, [0.5] * 3)
+            am = prism_acceleration((pt - e)[None, :], [-0.5] * 3, [0.5] * 3)
+            div += (ap[0, ax] - am[0, ax]) / (2 * h)
+        assert div == pytest.approx(0.0, abs=1e-6)
+
+    def test_exterior_matches_multipole_expansion(self):
+        """Outside, the analytic prism force matches the p=8 multipole
+        expansion of the analytic cube moments."""
+        pt = np.array([[1.5, 0.7, -0.9]])
+        mc = cube_moments(8, 1.0, 1.0)
+        _, acc_mp = m2p(mc, np.zeros(3), pt, 8)
+        acc = prism_acceleration(pt, [-0.5] * 3, [0.5] * 3, 1.0)
+        np.testing.assert_allclose(acc, acc_mp, rtol=1e-4)
+
+    def test_acceleration_is_gradient_of_potential(self):
+        pt = np.array([0.3, -0.2, 0.1])
+        lo, hi = [-0.5] * 3, [0.5] * 3
+        a = prism_acceleration(pt[None, :], lo, hi, 1.0)[0]
+        h = 1e-6
+        for ax in range(3):
+            e = np.zeros(3)
+            e[ax] = h
+            pp = prism_potential((pt + e)[None, :], lo, hi, 1.0)[0]
+            pm = prism_potential((pt - e)[None, :], lo, hi, 1.0)[0]
+            assert a[ax] == pytest.approx((pp - pm) / (2 * h), rel=1e-5, abs=1e-7)
+
+    def test_symmetry(self):
+        """Mirror-symmetric points get mirror-symmetric forces."""
+        lo, hi = [-0.5] * 3, [0.5] * 3
+        a1 = prism_acceleration(np.array([[0.2, 0.1, 0.0]]), lo, hi)[0]
+        a2 = prism_acceleration(np.array([[-0.2, 0.1, 0.0]]), lo, hi)[0]
+        assert a1[0] == pytest.approx(-a2[0])
+        assert a1[1] == pytest.approx(a2[1])
+
+    def test_interior_linear_regime(self):
+        """Near the center the cube force is ~ linear in displacement
+        (like a harmonic restoring force)."""
+        eps = 1e-3
+        a1 = cube_interior_acceleration(
+            np.array([[eps, 0, 0]]), np.zeros(3), 1.0, 1.0
+        )[0, 0]
+        a2 = cube_interior_acceleration(
+            np.array([[2 * eps, 0, 0]]), np.zeros(3), 1.0, 1.0
+        )[0, 0]
+        assert a2 == pytest.approx(2 * a1, rel=1e-4)
+        assert a1 < 0  # restoring (toward center)

@@ -1,0 +1,213 @@
+"""Tests for SimComm, Alltoall variants, and sorting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    MachineModel,
+    SimComm,
+    alltoall_hierarchical,
+    alltoall_pairwise,
+    american_flag_sort,
+    choose_splitters,
+    estimate_buffered_memory_per_node,
+    sample_sort,
+    sparse_exchange_pattern,
+)
+
+
+def send_matrix(p, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        [rng.integers(0, 100, size=rng.integers(0, 20)).astype(np.int64) for _ in range(p)]
+        for _ in range(p)
+    ]
+
+
+class TestSimComm:
+    def test_alltoallv_transposes(self):
+        comm = SimComm(4)
+        send = send_matrix(4)
+        recv = comm.alltoallv(send)
+        for i in range(4):
+            for j in range(4):
+                np.testing.assert_array_equal(recv[j][i], send[i][j])
+
+    def test_bytes_accounted(self):
+        comm = SimComm(3)
+        send = [[np.zeros(10, dtype=np.uint8) for _ in range(3)] for _ in range(3)]
+        comm.alltoallv(send)
+        # each rank sends to 2 others, 10 bytes each
+        np.testing.assert_array_equal(comm.ledger.bytes_sent, [20.0, 20.0, 20.0])
+
+    def test_conservation_bytes_sent_equals_received(self):
+        comm = SimComm(5)
+        send = send_matrix(5, seed=2)
+        recv = comm.alltoallv(send)
+        sent = sum(
+            np.asarray(send[i][j]).nbytes for i in range(5) for j in range(5) if i != j
+        )
+        received = sum(
+            np.asarray(recv[j][i]).nbytes for i in range(5) for j in range(5) if i != j
+        )
+        assert sent == received
+
+    def test_allreduce(self):
+        comm = SimComm(4)
+        vals = [np.array([float(i), 1.0]) for i in range(4)]
+        out = comm.allreduce(vals)
+        for o in out:
+            np.testing.assert_array_equal(o, [6.0, 4.0])
+
+    def test_allgather(self):
+        comm = SimComm(3)
+        out = comm.allgather([np.array([i]) for i in range(3)])
+        assert all(len(o) == 3 for o in out)
+        assert out[2][1][0] == 1
+
+    def test_bcast(self):
+        comm = SimComm(6)
+        out = comm.bcast(np.arange(4), root=2)
+        for o in out:
+            np.testing.assert_array_equal(o, np.arange(4))
+
+    def test_time_accumulates(self):
+        comm = SimComm(4)
+        comm.barrier()
+        t1 = comm.ledger.time_s
+        comm.barrier()
+        assert comm.ledger.time_s > t1 > 0
+
+    def test_exchange_pairs_routing(self):
+        comm = SimComm(3)
+        inbox = comm.exchange_pairs([(0, 2, np.array([7])), (1, 2, np.array([8]))])
+        assert len(inbox[2]) == 2
+        assert len(inbox[0]) == 0
+
+    def test_bad_rank_rejected(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError):
+            comm.exchange_pairs([(0, 5, np.array([1]))])
+
+
+class TestAlltoallVariants:
+    @pytest.mark.parametrize("p", [2, 4, 5])
+    def test_pairwise_correct(self, p):
+        comm = SimComm(p)
+        send = send_matrix(p, seed=p)
+        recv = alltoall_pairwise(comm, send)
+        for i in range(p):
+            for j in range(p):
+                np.testing.assert_array_equal(recv[j][i], send[i][j])
+
+    def test_pairwise_sparse_cheap(self):
+        """For the sparse post-decomposition pattern, the pairwise loop
+        moves far fewer bytes than a dense exchange would."""
+        p = 16
+        send = sparse_exchange_pattern(p, 10000)
+        comm = SimComm(p)
+        alltoall_pairwise(comm, send)
+        nonzero = sum(
+            1 for i in range(p) for j in range(p) if i != j and send[i][j].size
+        )
+        assert comm.ledger.total_messages() == nonzero
+        assert nonzero < p * (p - 1) / 2
+
+    def test_hierarchical_fewer_wire_partners(self):
+        """Leader relaying sends n_nodes^2-scale leader messages instead
+        of P^2 process messages."""
+        machine = MachineModel(cores_per_node=4)
+        p = 16
+        send = [[np.ones(8, dtype=np.uint8) for _ in range(p)] for _ in range(p)]
+        c_h = SimComm(p, machine)
+        alltoall_hierarchical(c_h, send)
+        c_p = SimComm(p, machine)
+        alltoall_pairwise(c_p, send)
+        # leaders: 4 nodes -> 12 leader pairs + 2*12 node-local messages
+        assert c_h.ledger.total_messages() < c_p.ledger.total_messages()
+
+    def test_buffer_memory_model_quadratic(self):
+        """§3.1: per-node buffer memory grows linearly in P (quadratic in
+        total across the machine), hitting a 32 GB node limit near the
+        paper's observed 256-node (6144-rank) ceiling."""
+        m256 = estimate_buffered_memory_per_node(256 * 24, 24)
+        m16 = estimate_buffered_memory_per_node(16 * 24, 24)
+        assert m256 == pytest.approx(16 * m16)
+        assert m256 > 9e9  # approaching node memory
+
+
+class TestAmericanFlagSort:
+    def test_matches_npsort(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2**63, size=5000).astype(np.uint64)
+        np.testing.assert_array_equal(american_flag_sort(keys), np.sort(keys))
+
+    def test_empty_and_single(self):
+        assert len(american_flag_sort(np.empty(0, dtype=np.uint64))) == 0
+        np.testing.assert_array_equal(
+            american_flag_sort(np.array([5], dtype=np.uint64)), [5]
+        )
+
+    def test_duplicates(self):
+        keys = np.array([3, 1, 3, 3, 2, 1], dtype=np.uint64)
+        np.testing.assert_array_equal(american_flag_sort(keys), np.sort(keys))
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_property_sorted_permutation(self, vals):
+        keys = np.array(vals, dtype=np.uint64)
+        out = american_flag_sort(keys)
+        np.testing.assert_array_equal(out, np.sort(keys))
+
+
+class TestSampleSort:
+    def test_global_sort(self):
+        rng = np.random.default_rng(1)
+        p = 4
+        comm = SimComm(p)
+        local = [rng.integers(1, 2**62, size=500).astype(np.uint64) for _ in range(p)]
+        out, splitters = sample_sort(comm, local)
+        merged = np.concatenate(out)
+        np.testing.assert_array_equal(merged, np.sort(np.concatenate(local)))
+        # rank boundaries respect the splitters: rank r holds keys in
+        # [splitters[r-1], splitters[r]) (side="right" partition)
+        for r in range(p):
+            if len(out[r]) == 0:
+                continue
+            if r > 0:
+                assert out[r].min() >= splitters[r - 1]
+            if r < p - 1:
+                assert out[r].max() < splitters[r]
+
+    def test_balance(self):
+        rng = np.random.default_rng(2)
+        p = 8
+        comm = SimComm(p)
+        local = [rng.integers(1, 2**62, size=2000).astype(np.uint64) for _ in range(p)]
+        out, _ = sample_sort(comm, local, oversample=32)
+        counts = np.array([len(o) for o in out], dtype=float)
+        assert counts.max() / counts.mean() < 1.6
+
+    def test_warm_start_reduces_movement(self):
+        """§3.1: with previous splitters, a nearly unchanged distribution
+        moves almost no data."""
+        rng = np.random.default_rng(3)
+        p = 4
+        keys = np.sort(rng.integers(1, 2**62, size=4000).astype(np.uint64))
+        local = [keys[i * 1000 : (i + 1) * 1000] for i in range(p)]
+        comm0 = SimComm(p)
+        _, splitters = sample_sort(comm0, local, oversample=16)
+        comm1 = SimComm(p)
+        sample_sort(comm1, local, previous_splitters=splitters, oversample=2)
+        comm2 = SimComm(p)
+        sample_sort(comm2, local, oversample=2)
+        assert comm1.ledger.total_bytes() <= comm2.ledger.total_bytes()
+
+    def test_empty_ranks(self):
+        comm = SimComm(3)
+        local = [np.array([5, 9], dtype=np.uint64), np.empty(0, dtype=np.uint64),
+                 np.array([1], dtype=np.uint64)]
+        out, _ = sample_sort(comm, local)
+        np.testing.assert_array_equal(np.concatenate(out), [1, 5, 9])

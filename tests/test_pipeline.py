@@ -1,0 +1,126 @@
+"""Tests for pipeline config metaprogramming and the stask queue."""
+
+import json
+
+import pytest
+
+from repro.pipeline import (
+    Allocation,
+    PipelineSpec,
+    STaskQueue,
+    Task,
+    expand_grid,
+    map_reduce,
+)
+
+
+class TestPipelineSpec:
+    def test_writes_all_artifacts(self, tmp_path):
+        spec = PipelineSpec(name="demo")
+        paths = spec.write(tmp_path)
+        names = {p.name for p in paths}
+        assert names == {
+            "demo_ic.json",
+            "demo_evolve.json",
+            "demo_analysis.json",
+            "demo.sh",
+        }
+
+    def test_generated_configs_consistent(self, tmp_path):
+        spec = PipelineSpec(name="c", git_tag="v9")
+        paths = spec.write(tmp_path)
+        assert PipelineSpec.consistent(paths)
+
+    def test_git_tag_propagates_to_every_stage(self, tmp_path):
+        """§3.4.3: the version tag must reach every artifact."""
+        spec = PipelineSpec(name="g", git_tag="deadbeef")
+        for p in spec.write(tmp_path):
+            content = p.read_text()
+            assert "deadbeef" in content
+
+    def test_stage_files_reference_each_other(self, tmp_path):
+        spec = PipelineSpec(name="x")
+        paths = {p.name: p for p in spec.write(tmp_path)}
+        ic = json.loads(paths["x_ic.json"].read_text())
+        ev = json.loads(paths["x_evolve.json"].read_text())
+        assert ev["input"] == ic["output"]
+
+    def test_redshift_scale_factor_conversion(self):
+        spec = PipelineSpec(z_init=49.0)
+        assert spec.ic_config()["a_init"] == pytest.approx(0.02)
+
+    def test_expand_grid(self):
+        base = PipelineSpec(name="suite")
+        specs = expand_grid(base, box_mpc_h=[1000.0, 2000.0], seed=[1, 2, 3])
+        assert len(specs) == 6
+        names = {s.name for s in specs}
+        assert len(names) == 6  # unique
+        assert all(s.name.startswith("suite_") for s in specs)
+
+    def test_grid_mirrors_paper_suite(self):
+        """The Fig. 8 suite: boxes of 1, 2, 4, 8 Gpc/h."""
+        specs = expand_grid(
+            PipelineSpec(name="ds2013"), box_mpc_h=[1000.0, 2000.0, 4000.0, 8000.0]
+        )
+        assert [s.box_mpc_h for s in specs] == [1000.0, 2000.0, 4000.0, 8000.0]
+
+    def test_shell_script_ordering(self):
+        s = PipelineSpec(name="o").shell_script()
+        assert s.index("ic.json") < s.index("evolve.json") < s.index("analysis.json")
+
+
+class TestSTask:
+    def test_simple_packing(self):
+        q = STaskQueue(Allocation(cores=8, walltime_s=100))
+        for i in range(4):
+            q.submit(Task(name=f"t{i}", cores=4, duration_s=10))
+        stats = q.run()
+        assert stats["completed"] == 4
+        # 4 tasks x 4 cores on 8 cores: two waves of 10s
+        assert stats["makespan_s"] == pytest.approx(20.0)
+
+    def test_oversized_task_rejected(self):
+        q = STaskQueue(Allocation(cores=4, walltime_s=10))
+        with pytest.raises(ValueError):
+            q.submit(Task(name="big", cores=8, duration_s=1))
+
+    def test_dependencies_ordered(self):
+        q = STaskQueue(Allocation(cores=4, walltime_s=100))
+        q.submit(Task(name="b", cores=2, duration_s=5, depends_on=("a",)))
+        q.submit(Task(name="a", cores=2, duration_s=5))
+        q.run()
+        tasks = {t.name: t for t in q.tasks}
+        assert tasks["b"].start_s >= tasks["a"].end_s
+
+    def test_walltime_preemption(self):
+        q = STaskQueue(Allocation(cores=4, walltime_s=30))
+        q.submit(Task(name="long", cores=4, duration_s=100, preempt_notice_s=5))
+        stats = q.run()
+        assert stats["preempted"] == 1
+        assert q.tasks[0].end_s == 30
+
+    def test_no_start_without_notice_window(self):
+        """A task whose required preemption notice cannot fit before
+        walltime is never started (§3.4.1 contract)."""
+        q = STaskQueue(Allocation(cores=4, walltime_s=30))
+        q.submit(Task(name="a", cores=4, duration_s=29.5))
+        q.submit(Task(name="late", cores=4, duration_s=100, preempt_notice_s=10))
+        stats = q.run()
+        assert stats["unstarted"] == 1
+
+    def test_utilization_high_for_many_small_tasks(self):
+        """The MapReduce use case: tens of independent tasks pack well."""
+        q = STaskQueue(Allocation(cores=16, walltime_s=1000))
+        map_reduce(q, n_map=32, map_cores=2, map_duration_s=10,
+                   reduce_cores=8, reduce_duration_s=5)
+        stats = q.run()
+        assert stats["completed"] == 33
+        assert stats["utilization"] > 0.7
+
+    def test_reduce_waits_for_all_maps(self):
+        q = STaskQueue(Allocation(cores=8, walltime_s=1000))
+        tasks = map_reduce(q, 8, 2, 10, 4, 5)
+        q.run()
+        red = next(t for t in tasks if t.name == "reduce")
+        last_map = max(t.end_s for t in tasks if t.name != "reduce")
+        assert red.start_s >= last_map

@@ -1,0 +1,101 @@
+"""Tests for the §3.4.1 science workloads: P(k) grids and MCMC."""
+
+import numpy as np
+import pytest
+
+from repro.cosmology import PLANCK2013, LinearPower
+from repro.pipeline.gridmcmc import PowerSpectrumGrid, mcmc_fit, schedule_grid
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    k = np.geomspace(0.02, 0.5, 24)
+    axes = {
+        "omega_m": np.linspace(0.24, 0.40, 5),
+        "sigma8": np.linspace(0.70, 0.95, 5),
+    }
+    return PowerSpectrumGrid.build(PLANCK2013, axes, k)
+
+
+class TestGrid:
+    def test_grid_shape(self, small_grid):
+        assert small_grid.log_power.shape == (5, 5, 24)
+        assert small_grid.n_points == 25
+
+    def test_exact_on_nodes(self, small_grid):
+        g = small_grid
+        p = g.interpolate(omega_m=0.32, sigma8=0.7625)  # both on nodes
+        from repro.pipeline.gridmcmc import _with_flat
+
+        params = _with_flat(PLANCK2013, {"omega_m": 0.32, "sigma8": 0.7625})
+        direct = LinearPower(params).power(g.k)
+        np.testing.assert_allclose(p, direct, rtol=1e-10)
+
+    def test_interpolation_accuracy_off_nodes(self, small_grid):
+        g = small_grid
+        from repro.pipeline.gridmcmc import _with_flat
+
+        p = g.interpolate(omega_m=0.303, sigma8=0.82)
+        params = _with_flat(PLANCK2013, {"omega_m": 0.303, "sigma8": 0.82})
+        direct = LinearPower(params).power(g.k)
+        assert np.abs(p / direct - 1).max() < 0.05
+
+    def test_out_of_range(self, small_grid):
+        with pytest.raises(ValueError):
+            small_grid.interpolate(omega_m=0.5, sigma8=0.8)
+
+    def test_missing_param(self, small_grid):
+        with pytest.raises(ValueError):
+            small_grid.interpolate(omega_m=0.3)
+
+    def test_sigma8_scales_amplitude(self, small_grid):
+        lo = small_grid.interpolate(omega_m=0.3175, sigma8=0.72)
+        hi = small_grid.interpolate(omega_m=0.3175, sigma8=0.92)
+        ratio = hi / lo
+        assert np.all(ratio > 1.3)
+        # amplitude-only to good approximation: flat ratio
+        assert ratio.std() / ratio.mean() < 0.03
+
+
+class TestScheduleGrid:
+    def test_six_dimensional_grid_scale(self):
+        """§3.4.1: a 6-d grid (4 points/axis = 4096 tasks) packs into an
+        allocation with high utilization."""
+        stats = schedule_grid(4**6, cores_per_task=64, task_seconds=600)
+        assert stats["completed"] == 4096
+        assert stats["utilization"] > 0.8
+
+
+class TestMCMC:
+    def test_recovers_injected_parameters(self, small_grid):
+        from repro.pipeline.gridmcmc import _with_flat
+
+        truth = {"omega_m": 0.30, "sigma8": 0.85}
+        params = _with_flat(PLANCK2013, truth)
+        k = small_grid.k
+        p_data = LinearPower(params).power(k)
+        result = mcmc_fit(small_grid, k, p_data, sigma_frac=0.05, n_steps=4000)
+        assert result["acceptance"] > 0.05
+        for name, val in truth.items():
+            assert abs(result["mean"][name] - val) < 3 * max(
+                result["std"][name], 0.01
+            )
+
+    def test_posterior_tightens_with_smaller_errors(self, small_grid):
+        from repro.pipeline.gridmcmc import _with_flat
+
+        params = _with_flat(PLANCK2013, {"omega_m": 0.32, "sigma8": 0.8})
+        k = small_grid.k
+        p_data = LinearPower(params).power(k)
+        wide = mcmc_fit(small_grid, k, p_data, sigma_frac=0.2, n_steps=3000, seed=1)
+        tight = mcmc_fit(small_grid, k, p_data, sigma_frac=0.02, n_steps=3000, seed=1)
+        assert tight["std"]["sigma8"] < wide["std"]["sigma8"]
+
+    def test_deterministic_given_seed(self, small_grid):
+        from repro.pipeline.gridmcmc import _with_flat
+
+        params = _with_flat(PLANCK2013, {"omega_m": 0.32, "sigma8": 0.8})
+        p_data = LinearPower(params).power(small_grid.k)
+        a = mcmc_fit(small_grid, small_grid.k, p_data, n_steps=500, seed=3)
+        b = mcmc_fit(small_grid, small_grid.k, p_data, n_steps=500, seed=3)
+        np.testing.assert_array_equal(a["chain"], b["chain"])

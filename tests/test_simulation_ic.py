@@ -1,0 +1,176 @@
+"""Tests for IC generation and the power-spectrum estimator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.power import measure_power
+from repro.cosmology import PLANCK2013, LinearPower
+from repro.simulation import ICConfig, generate_ic
+
+
+@pytest.fixture(scope="module")
+def ic_default():
+    cfg = ICConfig(n_per_dim=24, box_mpc_h=200.0, a_init=0.05, seed=7)
+    return cfg, generate_ic(PLANCK2013, cfg)
+
+
+class TestICBasics:
+    def test_particle_count(self, ic_default):
+        cfg, ps = ic_default
+        assert len(ps) == 24**3
+
+    def test_positions_in_box(self, ic_default):
+        _, ps = ic_default
+        assert ps.pos.min() >= 0.0
+        assert ps.pos.max() < 1.0
+
+    def test_total_mass_is_code_density(self, ic_default):
+        _, ps = ic_default
+        assert ps.total_mass == pytest.approx(3 * PLANCK2013.omega_m / (8 * np.pi))
+
+    def test_synchronized_epochs(self, ic_default):
+        cfg, ps = ic_default
+        assert ps.a == ps.a_mom == cfg.a_init
+
+    def test_mean_displacement_small(self, ic_default):
+        """Displacements at z=19 are small compared to the grid spacing."""
+        cfg, ps = ic_default
+        q = (np.arange(24) + 0.5) / 24
+        qx, qy, qz = np.meshgrid(q, q, q, indexing="ij")
+        lat = np.stack([qx.ravel(), qy.ravel(), qz.ravel()], axis=1)
+        disp = np.abs((ps.pos - lat + 0.5) % 1.0 - 0.5)
+        assert disp.max() < 2.0 / 24
+
+    def test_determinism(self):
+        cfg = ICConfig(n_per_dim=8, seed=5)
+        a = generate_ic(PLANCK2013, cfg)
+        b = generate_ic(PLANCK2013, cfg)
+        np.testing.assert_array_equal(a.pos, b.pos)
+        np.testing.assert_array_equal(a.mom, b.mom)
+
+    def test_seed_changes_realization(self):
+        a = generate_ic(PLANCK2013, ICConfig(n_per_dim=8, seed=1))
+        b = generate_ic(PLANCK2013, ICConfig(n_per_dim=8, seed=2))
+        assert not np.allclose(a.pos, b.pos)
+
+    def test_momenta_velocity_relation(self, ic_default):
+        """Zel'dovich: momentum field is proportional to displacement with
+        p = a^2 E f D psi -> p/displacement ~ a^2 E(a) f(a) (2LPT adds a
+        small correction)."""
+        cfg, ps = ic_default
+        from repro.cosmology import Background, GrowthCalculator
+
+        q = (np.arange(24) + 0.5) / 24
+        qx, qy, qz = np.meshgrid(q, q, q, indexing="ij")
+        lat = np.stack([qx.ravel(), qy.ravel(), qz.ravel()], axis=1)
+        disp = (ps.pos - lat + 0.5) % 1.0 - 0.5
+        a = cfg.a_init
+        g = GrowthCalculator(PLANCK2013)
+        f = float(g.growth_rate(a))
+        e = float(Background(PLANCK2013).efunc(a))
+        expected = ps.mom / (f * a * a * e)
+        # 2LPT part is O(D) smaller; compare at 5%
+        ratio = np.linalg.norm(expected - disp) / np.linalg.norm(disp)
+        assert ratio < 0.05
+
+
+class TestICPower:
+    def test_realized_power_matches_linear_theory(self, ic_default):
+        cfg, ps = ic_default
+        res = measure_power(ps.pos, cfg.box_mpc_h, ngrid=48, subtract_shot_noise=False)
+        lp = LinearPower(PLANCK2013)
+        theory = lp.power(res.k, a=cfg.a_init)
+        kf = 2 * np.pi / cfg.box_mpc_h
+        knyq = np.pi * 24 / cfg.box_mpc_h
+        sel = (res.k > 2 * kf) & (res.k < 0.5 * knyq)
+        ratio = res.power[sel] / theory[sel]
+        assert abs(ratio.mean() - 1.0) < 0.15
+        assert ratio.std() < 0.3
+
+    def test_dec_boosts_near_nyquist(self):
+        base = ICConfig(n_per_dim=16, box_mpc_h=100.0, a_init=0.05, seed=3)
+        on = ICConfig(**{**base.__dict__, "dec": True})
+        ps0 = generate_ic(PLANCK2013, base)
+        ps1 = generate_ic(PLANCK2013, on)
+        r0 = measure_power(ps0.pos, 100.0, ngrid=32, subtract_shot_noise=False)
+        r1 = measure_power(ps1.pos, 100.0, ngrid=32, subtract_shot_noise=False)
+        knyq = np.pi * 16 / 100.0
+        hi = r0.k > 0.6 * knyq
+        lo = r0.k < 0.3 * knyq
+        boost_hi = (r1.power[hi] / r0.power[hi]).mean()
+        boost_lo = (r1.power[lo] / r0.power[lo]).mean()
+        assert boost_hi > boost_lo > 0.99
+        assert boost_hi > 1.05
+
+    def test_sphere_mode_removes_corner_modes(self):
+        base = ICConfig(n_per_dim=16, box_mpc_h=100.0, a_init=0.05, seed=3)
+        on = ICConfig(**{**base.__dict__, "sphere_mode": True})
+        ps0 = generate_ic(PLANCK2013, base)
+        ps1 = generate_ic(PLANCK2013, on)
+        # corner modes carry power in the cube but not the sphere: total
+        # displacement variance must drop
+        q = (np.arange(16) + 0.5) / 16
+        qx, qy, qz = np.meshgrid(q, q, q, indexing="ij")
+        lat = np.stack([qx.ravel(), qy.ravel(), qz.ravel()], axis=1)
+        d0 = ((ps0.pos - lat + 0.5) % 1.0 - 0.5).std()
+        d1 = ((ps1.pos - lat + 0.5) % 1.0 - 0.5).std()
+        assert d1 < d0
+
+    def test_2lpt_changes_positions(self):
+        base = ICConfig(n_per_dim=16, seed=3, a_init=0.2)  # late start: big effect
+        za = ICConfig(**{**base.__dict__, "use_2lpt": False})
+        a = generate_ic(PLANCK2013, base)
+        b = generate_ic(PLANCK2013, za)
+        assert not np.allclose(a.pos, b.pos)
+
+    def test_phases_shared_across_switches(self):
+        """The white-noise construction keeps the realization's phases
+        fixed across ablation switches (what makes Fig. 7 ratios clean):
+        switching 2LPT off perturbs positions at second order only."""
+        base = ICConfig(n_per_dim=16, seed=3, a_init=0.02)
+        za = ICConfig(**{**base.__dict__, "use_2lpt": False})
+        a = generate_ic(PLANCK2013, base)
+        b = generate_ic(PLANCK2013, za)
+        diff = np.abs(a.pos - b.pos).max()
+        disp = np.abs((a.pos - b.pos)).max()
+        assert diff < 1e-3  # second-order smallness at z=49
+
+
+class TestPowerEstimator:
+    def test_poisson_field_is_shot_noise(self):
+        rng = np.random.default_rng(0)
+        pos = rng.random((20000, 3))
+        res = measure_power(pos, 100.0, ngrid=32, subtract_shot_noise=False)
+        # pure Poisson: P = V/N
+        expect = 100.0**3 / 20000
+        sel = res.k > 0.3
+        assert np.abs(res.power[sel].mean() / expect - 1.0) < 0.2
+
+    def test_shot_noise_subtraction(self):
+        rng = np.random.default_rng(0)
+        pos = rng.random((20000, 3))
+        res = measure_power(pos, 100.0, ngrid=32, subtract_shot_noise=True)
+        sel = res.k > 0.3
+        assert np.abs(res.power[sel].mean()) < 0.3 * res.shot_noise
+
+    def test_single_mode(self):
+        """A pure sinusoidal displacement of a grid shows up at the right k
+        with the right power."""
+        n = 32
+        q = (np.arange(n) + 0.5) / n
+        qx, qy, qz = np.meshgrid(q, q, q, indexing="ij")
+        pos = np.stack([qx.ravel(), qy.ravel(), qz.ravel()], axis=1)
+        amp = 0.002
+        pos[:, 0] = (pos[:, 0] + amp * np.sin(2 * np.pi * 4 * pos[:, 0])) % 1.0
+        box = 64.0
+        res = measure_power(pos, box, ngrid=64, subtract_shot_noise=False)
+        k_target = 2 * np.pi * 4 / box
+        i = np.argmin(np.abs(res.k - k_target))
+        assert res.power[i] > 10 * np.median(res.power)
+
+    def test_ratio_to(self):
+        rng = np.random.default_rng(1)
+        pos = rng.random((5000, 3))
+        r1 = measure_power(pos, 50.0, ngrid=16)
+        r2 = measure_power(pos, 50.0, ngrid=16)
+        np.testing.assert_allclose(r1.ratio_to(r2), 1.0)

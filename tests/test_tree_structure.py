@@ -1,0 +1,150 @@
+"""Tests for the hashed oct-tree build."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.keys import parent_key
+from repro.tree import build_tree
+from repro.util import expand_ranges
+
+
+def random_cloud(n, seed=0, clustered=False):
+    rng = np.random.default_rng(seed)
+    if clustered:
+        centers = rng.random((8, 3))
+        pos = (
+            centers[rng.integers(0, 8, n)] + 0.02 * rng.standard_normal((n, 3))
+        ) % 1.0
+    else:
+        pos = rng.random((n, 3))
+    return pos, rng.random(n) + 0.5
+
+
+class TestBuild:
+    def test_every_particle_in_exactly_one_leaf(self):
+        pos, mass = random_cloud(3000, clustered=True)
+        tree = build_tree(pos, mass, nleaf=8)
+        tree.validate()
+        leaf_of = tree.leaf_of_particle()
+        assert len(leaf_of) == 3000
+        # particle indices covered by leaves == all
+        leaves = tree.leaf_indices
+        idx = expand_ranges(tree.cell_start[leaves], tree.cell_count[leaves])
+        assert np.array_equal(np.sort(idx), np.arange(3000))
+
+    def test_leaf_size_respected(self):
+        pos, mass = random_cloud(5000)
+        tree = build_tree(pos, mass, nleaf=12)
+        leaves = tree.leaf_indices
+        deep = tree.cell_level[leaves] < 21
+        assert np.all(tree.cell_count[leaves][deep] <= 12)
+
+    def test_small_n_single_root(self):
+        pos, mass = random_cloud(5)
+        tree = build_tree(pos, mass, nleaf=16)
+        assert tree.n_cells == 1
+        assert tree.cell_count[0] == 5
+
+    def test_mass_conserved_along_levels(self):
+        pos, mass = random_cloud(2000)
+        tree = build_tree(pos, mass, nleaf=16)
+        for lvl in range(tree.max_level + 1):
+            cells = tree.cells_at_level(lvl)
+            if lvl == 0:
+                assert tree.cell_count[cells].sum() == 2000
+
+    def test_cell_contains_its_particles(self):
+        pos, mass = random_cloud(2000, seed=5)
+        tree = build_tree(pos, mass, nleaf=16)
+        for ci in np.random.default_rng(0).choice(tree.n_cells, 30):
+            if tree.cell_is_ghost[ci]:
+                continue
+            s, c = tree.cell_start[ci], tree.cell_count[ci]
+            p = tree.pos[s : s + c]
+            ctr, side = tree.cell_center[ci], tree.cell_side[ci]
+            assert np.all(np.abs(p - ctr) <= side / 2 + 1e-12)
+
+    def test_parent_child_key_relation(self):
+        pos, mass = random_cloud(2000)
+        tree = build_tree(pos, mass, nleaf=16)
+        kids = np.flatnonzero(tree.cell_parent >= 0)
+        pk = parent_key(tree.cell_key[kids])
+        assert np.array_equal(pk, tree.cell_key[tree.cell_parent[kids]])
+
+    def test_hash_lookup(self):
+        pos, mass = random_cloud(2000)
+        tree = build_tree(pos, mass, nleaf=16)
+        got = tree.hash.lookup(tree.cell_key)
+        assert np.array_equal(got, np.arange(tree.n_cells))
+
+    def test_positions_sorted_by_key(self):
+        pos, mass = random_cloud(1000)
+        tree = build_tree(pos, mass)
+        assert np.all(np.diff(tree.keys.astype(np.uint64)) >= 0)
+
+    def test_order_is_permutation(self):
+        pos, mass = random_cloud(1000)
+        tree = build_tree(pos, mass)
+        assert np.array_equal(np.sort(tree.order), np.arange(1000))
+        np.testing.assert_array_equal(tree.pos, pos[tree.order])
+
+    def test_ghosts_complete_octants(self):
+        pos, mass = random_cloud(3000, clustered=True)
+        tree = build_tree(pos, mass, nleaf=8, with_ghosts=True)
+        internal = np.flatnonzero(~tree.is_leaf)
+        assert np.all(tree.cell_nchildren[internal] == 8)
+        assert np.any(tree.cell_is_ghost)
+
+    def test_no_ghosts_by_default(self):
+        pos, mass = random_cloud(3000, clustered=True)
+        tree = build_tree(pos, mass, nleaf=8)
+        assert not np.any(tree.cell_is_ghost)
+
+    def test_ghost_cells_are_empty_leaves(self):
+        pos, mass = random_cloud(3000, clustered=True)
+        tree = build_tree(pos, mass, nleaf=8, with_ghosts=True)
+        g = np.flatnonzero(tree.cell_is_ghost)
+        assert np.all(tree.cell_count[g] == 0)
+        assert np.all(tree.cell_first_child[g] < 0)
+
+    def test_out_of_box_rejected(self):
+        with pytest.raises(ValueError):
+            build_tree(np.array([[1.5, 0.5, 0.5]]), np.array([1.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_tree(np.zeros((0, 3)), np.zeros(0))
+
+    def test_box_scaling(self):
+        pos, mass = random_cloud(500)
+        t1 = build_tree(pos, mass, box=1.0)
+        t2 = build_tree(pos * 100.0, mass, box=100.0)
+        assert t1.n_cells == t2.n_cells
+        np.testing.assert_allclose(t2.cell_side, t1.cell_side * 100.0)
+
+    def test_duplicate_positions(self):
+        """Coincident particles cannot be separated; the build must
+        terminate with an over-full bottom-level leaf."""
+        pos = np.full((40, 3), 0.25)
+        mass = np.ones(40)
+        tree = build_tree(pos, mass, nleaf=8)
+        leaves = tree.leaf_indices
+        assert tree.cell_count[leaves].sum() == 40
+
+    @given(st.integers(min_value=1, max_value=400), st.integers(min_value=1, max_value=32))
+    @settings(max_examples=20, deadline=None)
+    def test_partition_property(self, n, nleaf):
+        rng = np.random.default_rng(n * 31 + nleaf)
+        pos = rng.random((n, 3))
+        tree = build_tree(pos, np.ones(n), nleaf=nleaf)
+        tree.validate()
+
+
+class TestCellsAtLevel:
+    def test_levels_partition_cells(self):
+        pos, mass = random_cloud(3000)
+        tree = build_tree(pos, mass, nleaf=8)
+        total = sum(len(tree.cells_at_level(l)) for l in range(tree.max_level + 1))
+        assert total == tree.n_cells
