@@ -20,6 +20,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.instrument import Tracer
+from repro.instrument.report import force_stage_totals
 from repro.simulation import Simulation, SimulationConfig
 
 CACHE_DIR = Path(__file__).parent / "_cache"
@@ -38,25 +40,41 @@ def config_key(cfg: SimulationConfig) -> str:
 
 
 def run_cached(cfg: SimulationConfig) -> dict:
-    """Run (or load) a simulation; returns dict with pos, history summary."""
+    """Run (or load) a simulation; returns dict with pos, history summary.
+
+    Fresh runs execute under the shared :class:`repro.instrument.Tracer`,
+    so the cache carries the per-stage force breakdown (``stage_seconds``)
+    and run totals alongside the particle data.
+    """
     CACHE_DIR.mkdir(exist_ok=True)
     path = CACHE_DIR / f"sim_{config_key(cfg)}.npz"
     if path.exists():
-        data = np.load(path)
-        return {
+        data = np.load(path, allow_pickle=False)
+        out = {
             "pos": data["pos"],
             "mass": data["mass"],
             "a_final": float(data["a_final"]),
             "steps": int(data["steps"]),
             "interactions_per_particle": float(data["ipp"]),
         }
-    sim = Simulation(cfg)
+        if "metrics_json" in data.files:
+            meta = json.loads(str(data["metrics_json"]))
+            out.update(meta)
+        return out
+    tracer = Tracer()
+    sim = Simulation(cfg, tracer=tracer)
     ps = sim.run()
     ipp = float(
         np.mean([r.interactions_per_particle for r in sim.history])
         if sim.history
         else 0.0
     )
+    stage = force_stage_totals(tracer.stage_times())
+    meta = {
+        "stage_seconds": stage,
+        "run_totals": sim.run_totals,
+        "counters": tracer.counters,
+    }
     np.savez_compressed(
         path,
         pos=ps.pos,
@@ -64,6 +82,7 @@ def run_cached(cfg: SimulationConfig) -> dict:
         a_final=ps.a,
         steps=len(sim.history),
         ipp=ipp,
+        metrics_json=json.dumps(meta),
     )
     return {
         "pos": ps.pos,
@@ -71,6 +90,7 @@ def run_cached(cfg: SimulationConfig) -> dict:
         "a_final": ps.a,
         "steps": len(sim.history),
         "interactions_per_particle": ipp,
+        **meta,
     }
 
 

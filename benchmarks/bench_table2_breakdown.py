@@ -17,14 +17,13 @@ communication and imbalance from the parallel traversal — and then
 scales the model to the paper's configuration for the side-by-side.
 """
 
-import time
-
 import numpy as np
 import pytest
 
 from _simlib import BENCH_N, once, print_table
 from repro.cosmology import PLANCK2013, code_particle_mass
 from repro.gravity import TreecodeConfig, TreecodeGravity
+from repro.instrument import Tracer
 from repro.parallel import JAGUAR_LIKE, decompose, parallel_traversal
 from repro.perfmodel import table2_breakdown
 from repro.simulation import ICConfig, generate_ic
@@ -46,25 +45,22 @@ def _measure_stages():
     n = max(BENCH_N, 12)
     ic = ICConfig(n_per_dim=n, box_mpc_h=100.0, a_init=0.25, seed=5)
     ps = generate_ic(PLANCK2013, ic)
-    stages = {}
-    t0 = time.perf_counter()
-    decomp = decompose(ps.pos, 64)
-    stages["domain_decomposition"] = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    tree = build_tree(ps.pos, ps.mass, nleaf=16, with_ghosts=True)
-    moms = compute_moments(
-        tree, p=4, tol=1e-5, background=True, mean_density=ps.mass.sum()
-    )
-    stages["tree_build"] = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    inter = traverse(tree, moms, periodic=True, ws=1)
-    stages["tree_traversal"] = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    res = evaluate_forces(
-        tree, moms, inter, softening=make_softening("dehnen_k1", 0.05 / n),
-        dtype=np.float32, want_potential=False,
-    )
-    stages["force_evaluation"] = time.perf_counter() - t0
+    tracer = Tracer()
+    with tracer.span("domain_decomposition"):
+        decomp = decompose(ps.pos, 64)
+    with tracer.span("tree_build"):
+        tree = build_tree(ps.pos, ps.mass, nleaf=16, with_ghosts=True)
+        moms = compute_moments(
+            tree, p=4, tol=1e-5, background=True, mean_density=ps.mass.sum()
+        )
+    with tracer.span("tree_traversal"):
+        inter = traverse(tree, moms, periodic=True, ws=1)
+    with tracer.span("force_evaluation"):
+        res = evaluate_forces(
+            tree, moms, inter, softening=make_softening("dehnen_k1", 0.05 / n),
+            dtype=np.float32, want_potential=False,
+        )
+    stages = tracer.stage_times()
     # communication & imbalance from the simulated parallel machine
     # rank count scaled to keep >= a few hundred particles per domain,
     # like production granularity

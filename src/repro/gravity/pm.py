@@ -31,6 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import special
 
+from ..instrument import get_tracer
 from ..multipoles.radial import ErfcKernel
 from ..tree import build_tree, compute_moments, traverse
 from .smoothing import SofteningKernel, make_softening
@@ -183,31 +184,60 @@ class TreePMGravity:
         self.config = config or TreePMConfig()
         self.last_stats: dict = {}
 
-    def compute(self, pos: np.ndarray, mass: np.ndarray, box: float = 1.0) -> ForceResult:
+    def compute(
+        self, pos: np.ndarray, mass: np.ndarray, box: float = 1.0, tracer=None
+    ) -> ForceResult:
         cfg = self.config
+        tr = tracer if tracer is not None else get_tracer()
         r_split = cfg.asmth * box / cfg.ngrid
-        pm = ParticleMesh(cfg.ngrid, box, r_split=r_split)
-        acc_long, pot_long = pm.accelerations(pos, mass, G=cfg.G, want_potential=True)
-
-        tree = build_tree(pos, mass, box=box, nleaf=cfg.nleaf)
-        moms = compute_moments(tree, p=cfg.p, tol=cfg.errtol)
-        inter = traverse(tree, moms, periodic=True, ws=1)
-        inter = _prune_far(tree, moms, inter, cfg.rcut * r_split)
-        base = make_softening(cfg.softening, cfg.eps)
-        sr = ShortRangeSoftening(base, r_split)
-        res = evaluate_forces(
-            tree,
-            moms,
-            inter,
-            softening=sr,
-            G=cfg.G,
-            kernel=ErfcKernel(1.0 / (2.0 * r_split)),
-        )
-        res.acc += acc_long
-        if res.pot is not None:
-            res.pot += pot_long
+        with tr.span("force") as sp_force:
+            with tr.span("pm") as sp_pm:
+                pm = ParticleMesh(cfg.ngrid, box, r_split=r_split)
+                acc_long, pot_long = pm.accelerations(
+                    pos, mass, G=cfg.G, want_potential=True
+                )
+            with tr.span("build") as sp_build:
+                tree = build_tree(pos, mass, box=box, nleaf=cfg.nleaf)
+            with tr.span("moments") as sp_moments:
+                moms = compute_moments(tree, p=cfg.p, tol=cfg.errtol)
+            with tr.span("traverse") as sp_traverse:
+                inter = traverse(tree, moms, periodic=True, ws=1)
+                inter = _prune_far(tree, moms, inter, cfg.rcut * r_split)
+            with tr.span("evaluate") as sp_evaluate:
+                base = make_softening(cfg.softening, cfg.eps)
+                sr = ShortRangeSoftening(base, r_split)
+                res = evaluate_forces(
+                    tree,
+                    moms,
+                    inter,
+                    softening=sr,
+                    G=cfg.G,
+                    kernel=ErfcKernel(1.0 / (2.0 * r_split)),
+                )
+                res.acc += acc_long
+                if res.pot is not None:
+                    res.pot += pot_long
         res.stats["r_split"] = r_split
         res.stats["interactions_per_particle"] = inter.interactions_per_particle(tree)
+        if tr.enabled:
+            from ..instrument.crosscheck import flops_from_stats
+
+            res.stats["stage_seconds"] = {
+                "pm": sp_pm.seconds,
+                "build": sp_build.seconds,
+                "moments": sp_moments.seconds,
+                "traverse": sp_traverse.seconds,
+                "evaluate": sp_evaluate.seconds,
+            }
+            res.stats["force_seconds"] = sp_force.seconds
+            res.stats["flops"] = flops_from_stats(res.stats)
+            tr.count("force.calls")
+            tr.count(
+                "force.interactions",
+                res.stats.get("cell_interactions", 0)
+                + res.stats.get("pp_interactions", 0),
+            )
+            tr.count("force.flops", res.stats["flops"])
         self.last_stats = res.stats
         return res
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..instrument import get_tracer
 from ..tree import InteractionLists, Tree, TreeMoments, build_tree, compute_moments, traverse
 from .periodic import PeriodicLocalExpansion
 from .smoothing import SofteningKernel, make_softening
@@ -76,50 +77,88 @@ class TreecodeGravity:
         mass: np.ndarray,
         box: float = 1.0,
         mean_density: float | None = None,
+        tracer=None,
     ) -> ForceResult:
         """Build the tree and evaluate accelerations (and potentials).
 
         ``mean_density`` defaults to total mass / box^3, which is the
-        right background for a periodic cosmological volume.
+        right background for a periodic cosmological volume.  With a
+        real tracer (passed here or installed via ``set_tracer``) the
+        per-stage wall times — build / moments / traverse / evaluate /
+        lattice, Table 2's rows — land in ``result.stats`` under
+        ``stage_seconds`` alongside a ``flops`` count from the honest
+        per-interaction accounting.
         """
         cfg = self.config
+        tr = tracer if tracer is not None else get_tracer()
         if mean_density is None:
             mean_density = float(np.sum(mass)) / box**3
-        tree = build_tree(
-            pos, mass, box=box, nleaf=cfg.nleaf, with_ghosts=cfg.background
-        )
-        moms = compute_moments(
-            tree,
-            p=cfg.p,
-            tol=cfg.errtol,
-            background=cfg.background,
-            mean_density=mean_density if cfg.background else None,
-            mac=cfg.mac,
-        )
-        inter = traverse(tree, moms, periodic=cfg.periodic, ws=cfg.ws)
-        result = evaluate_forces(
-            tree,
-            moms,
-            inter,
-            softening=self._softening(),
-            G=cfg.G,
-            dtype=cfg.dtype,
-            want_potential=cfg.want_potential,
-        )
-        if cfg.periodic and cfg.lattice_correction and cfg.background:
-            root = int(np.flatnonzero(tree.cell_level == 0)[0])
-            ple = PeriodicLocalExpansion(
-                p_source=cfg.p + 2, p_local=cfg.p_lattice, ws=cfg.ws, box=box
-            )
-            pot_far, acc_far = ple.field(moms.moments[root], pos)
-            result.acc += cfg.G * acc_far.astype(result.acc.dtype)
-            if result.pot is not None:
-                result.pot += cfg.G * pot_far.astype(result.pot.dtype)
+        with tr.span("force") as sp_force:
+            with tr.span("build") as sp_build:
+                tree = build_tree(
+                    pos, mass, box=box, nleaf=cfg.nleaf, with_ghosts=cfg.background
+                )
+            with tr.span("moments") as sp_moments:
+                moms = compute_moments(
+                    tree,
+                    p=cfg.p,
+                    tol=cfg.errtol,
+                    background=cfg.background,
+                    mean_density=mean_density if cfg.background else None,
+                    mac=cfg.mac,
+                )
+            with tr.span("traverse") as sp_traverse:
+                inter = traverse(tree, moms, periodic=cfg.periodic, ws=cfg.ws)
+            with tr.span("evaluate") as sp_evaluate:
+                result = evaluate_forces(
+                    tree,
+                    moms,
+                    inter,
+                    softening=self._softening(),
+                    G=cfg.G,
+                    dtype=cfg.dtype,
+                    want_potential=cfg.want_potential,
+                )
+            lattice_s = 0.0
+            if cfg.periodic and cfg.lattice_correction and cfg.background:
+                with tr.span("lattice") as sp_lattice:
+                    root = int(np.flatnonzero(tree.cell_level == 0)[0])
+                    ple = PeriodicLocalExpansion(
+                        p_source=cfg.p + 2, p_local=cfg.p_lattice, ws=cfg.ws, box=box
+                    )
+                    pot_far, acc_far = ple.field(moms.moments[root], pos)
+                    result.acc += cfg.G * acc_far.astype(result.acc.dtype)
+                    if result.pot is not None:
+                        result.pot += cfg.G * pot_far.astype(result.pot.dtype)
+                lattice_s = sp_lattice.seconds
         result.stats["interactions_per_particle"] = inter.interactions_per_particle(
             tree
         )
         result.stats["n_cells"] = tree.n_cells
         result.stats["traversal_rounds"] = inter.rounds
+        if tr.enabled:
+            from ..instrument.crosscheck import flops_from_stats
+
+            stage = {
+                "build": sp_build.seconds,
+                "moments": sp_moments.seconds,
+                "traverse": sp_traverse.seconds,
+                "evaluate": sp_evaluate.seconds,
+                "lattice": lattice_s,
+            }
+            flops = flops_from_stats(result.stats, cfg.want_potential)
+            result.stats["stage_seconds"] = stage
+            result.stats["force_seconds"] = sp_force.seconds
+            result.stats["flops"] = flops
+            n_inter = (
+                result.stats.get("cell_interactions", 0)
+                + result.stats.get("pp_interactions", 0)
+                + result.stats.get("prism_interactions", 0)
+            )
+            tr.count("force.calls")
+            tr.count("force.interactions", n_inter)
+            tr.count("force.cells", tree.n_cells)
+            tr.count("force.flops", flops)
         self.last_tree = tree
         self.last_moments = moms
         self.last_interactions = inter

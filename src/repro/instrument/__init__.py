@@ -1,0 +1,53 @@
+"""Instrumentation: hierarchical timers, counters, structured events.
+
+The measurement layer behind the paper's evaluation — Table 2's stage
+breakdown, §7's interactions-per-particle efficiency metric and the
+Gflops accounting — as a cross-cutting subsystem: a thread-safe
+:class:`Tracer` with nestable spans and monotonic counters, a per-run
+:class:`Metrics` registry, a JSONL structured-event sink, Table-2-style
+report rendering, and a measured-vs-modeled cross-check against
+:mod:`repro.perfmodel`.  The default tracer is a no-op
+(:data:`NULL_TRACER`), so uninstrumented runs pay nothing.
+"""
+
+from .events import JsonlSink, read_jsonl
+from .metrics import Metrics, TimerStat
+from .report import (
+    FORCE_STAGE_LABELS,
+    force_stage_table,
+    force_stage_totals,
+    stage_breakdown_table,
+    step_summary_table,
+)
+from .crosscheck import CrossCheck, flops_from_stats, perfmodel_crosscheck
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "CrossCheck",
+    "FORCE_STAGE_LABELS",
+    "JsonlSink",
+    "Metrics",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TimerStat",
+    "Tracer",
+    "flops_from_stats",
+    "force_stage_table",
+    "force_stage_totals",
+    "get_tracer",
+    "perfmodel_crosscheck",
+    "read_jsonl",
+    "set_tracer",
+    "stage_breakdown_table",
+    "step_summary_table",
+    "use_tracer",
+]

@@ -1,0 +1,84 @@
+"""Structured-event sink: newline-delimited JSON records on disk.
+
+The tracer (and the simulation driver) emit one small dict per event —
+a closed span, a per-step summary, a counter flush — and the sink
+appends each as one JSON line, so a run's trace is greppable,
+streamable and trivially machine-readable.  :func:`read_jsonl` is the
+matching loader.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["JsonlSink", "read_jsonl"]
+
+
+def _jsonable(obj):
+    """Best-effort conversion of numpy scalars/arrays for json.dumps."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+class JsonlSink:
+    """Append structured records to a JSONL file (or any text stream).
+
+    Writes are line-atomic under a lock so multiple threads sharing one
+    tracer produce a valid file.  Usable as a context manager; a sink
+    constructed from a path owns (and closes) its file handle, a sink
+    wrapping a caller's stream leaves closing to the caller.
+    """
+
+    def __init__(self, target):
+        if isinstance(target, (str, Path)):
+            self._fh = open(target, "a", encoding="utf-8")
+            self._owns = True
+        elif isinstance(target, io.IOBase) or hasattr(target, "write"):
+            self._fh = target
+            self._owns = False
+        else:
+            raise TypeError("target must be a path or a writable text stream")
+        self._lock = threading.Lock()
+        self.records_written = 0
+
+    def emit(self, record: dict) -> None:
+        line = json.dumps(record, default=_jsonable)
+        with self._lock:
+            self._fh.write(line + "\n")
+            self.records_written += 1
+
+    def flush(self) -> None:
+        with self._lock:
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            self._fh.flush()
+            if self._owns:
+                self._fh.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def read_jsonl(path) -> list[dict]:
+    """Load every record of a JSONL trace file."""
+    out = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -1,0 +1,119 @@
+"""Per-run metrics registry: timers, scalar counters, per-rank vectors.
+
+One :class:`Metrics` instance accumulates everything a run produces —
+span wall-clock totals keyed by hierarchical path ("force/traverse"),
+monotonic scalar counters (interactions, flops, bytes moved) and
+per-rank vector counters (bytes/messages per simulated rank).  Updates
+are lock-protected so concurrent threads (or the thread-safe
+:class:`~repro.instrument.tracer.Tracer` above it) can share one
+registry; registries from independent runs merge associatively.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TimerStat", "Metrics"]
+
+
+@dataclass
+class TimerStat:
+    """Aggregate of all closures of one span path."""
+
+    total_s: float = 0.0
+    calls: int = 0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.total_s += seconds
+        self.calls += 1
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+
+    def merge(self, other: "TimerStat") -> None:
+        self.total_s += other.total_s
+        self.calls += other.calls
+        self.min_s = min(self.min_s, other.min_s)
+        self.max_s = max(self.max_s, other.max_s)
+
+
+class Metrics:
+    """Thread-safe registry of timers, counters and vector counters."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.timers: dict[str, TimerStat] = {}
+        self.counters: dict[str, float] = {}
+        self.vectors: dict[str, np.ndarray] = {}
+
+    # ----- recording -----------------------------------------------------------
+    def add_time(self, path: str, seconds: float) -> None:
+        with self._lock:
+            stat = self.timers.get(path)
+            if stat is None:
+                stat = self.timers[path] = TimerStat()
+            stat.add(float(seconds))
+
+    def add_count(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + float(value)
+
+    def add_vec(self, name: str, values) -> None:
+        """Accumulate a per-rank (or any per-index) vector counter.
+
+        Vectors of different lengths are aligned at index 0 and the
+        accumulator grows to the longer length, so runs at different
+        rank counts can still share a registry.
+        """
+        v = np.asarray(values, dtype=np.float64).ravel()
+        with self._lock:
+            cur = self.vectors.get(name)
+            if cur is None:
+                self.vectors[name] = v.copy()
+            elif len(cur) == len(v):
+                cur += v
+            else:
+                out = np.zeros(max(len(cur), len(v)))
+                out[: len(cur)] += cur
+                out[: len(v)] += v
+                self.vectors[name] = out
+
+    # ----- reading / combining ----------------------------------------------------
+    def stage_times(self) -> dict[str, float]:
+        """Total seconds per span path."""
+        with self._lock:
+            return {k: v.total_s for k, v in self.timers.items()}
+
+    def merge(self, other: "Metrics") -> None:
+        with other._lock:
+            timers = {k: TimerStat(v.total_s, v.calls, v.min_s, v.max_s)
+                      for k, v in other.timers.items()}
+            counters = dict(other.counters)
+            vectors = {k: v.copy() for k, v in other.vectors.items()}
+        with self._lock:
+            for k, v in timers.items():
+                if k in self.timers:
+                    self.timers[k].merge(v)
+                else:
+                    self.timers[k] = v
+        for k, v in counters.items():
+            self.add_count(k, v)
+        for k, v in vectors.items():
+            self.add_vec(k, v)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of the whole registry."""
+        with self._lock:
+            return {
+                "timers": {
+                    k: {"total_s": v.total_s, "calls": v.calls,
+                        "min_s": v.min_s, "max_s": v.max_s}
+                    for k, v in self.timers.items()
+                },
+                "counters": dict(self.counters),
+                "vectors": {k: v.tolist() for k, v in self.vectors.items()},
+            }

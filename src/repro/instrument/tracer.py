@@ -1,0 +1,231 @@
+"""Hierarchical tracer: nestable spans, counters, structured events.
+
+The measurement layer the paper's evaluation implies: Table 2's stage
+breakdown needs per-stage wall-clock, §7's efficiency metric needs
+interaction counters, and the Gflops accounting needs flop counters —
+all attributable to *where in the call tree* they happened.  A
+:class:`Tracer` provides
+
+* ``with tracer.span("tree_build"):`` — nestable, per-thread spans
+  whose closures accumulate into a shared :class:`Metrics` registry
+  under hierarchical paths ("force/tree_build");
+* ``tracer.count("interactions", n)`` / ``count_vec`` — monotonic
+  scalar and per-rank vector counters;
+* ``tracer.emit({...})`` — structured records streamed to a JSONL sink.
+
+Instrumentation must cost nothing when off: the module-level default is
+a :class:`NullTracer` whose ``span`` returns one preallocated no-op
+context manager and whose counter methods are empty — call sites pay a
+dict lookup and an attribute test, nothing else.  ``set_tracer`` /
+``use_tracer`` install a real tracer process-wide.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from .events import JsonlSink
+from .metrics import Metrics
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+
+class _NullSpan:
+    """Shared do-nothing span; ``seconds`` is always 0.0."""
+
+    __slots__ = ()
+    seconds = 0.0
+    path = ""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-cost default: every operation is a no-op."""
+
+    enabled = False
+
+    def span(self, name: str):
+        return _NULL_SPAN
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def count_vec(self, name: str, values) -> None:
+        pass
+
+    def emit(self, record: dict) -> None:
+        pass
+
+    def stage_times(self) -> dict:
+        return {}
+
+    @property
+    def counters(self) -> dict:
+        return {}
+
+    def flush(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class Span:
+    """One timed region; created by :meth:`Tracer.span`, used as a
+    context manager.  After exit, ``seconds`` holds the elapsed wall
+    time and the closure has been recorded under ``path``."""
+
+    __slots__ = ("name", "path", "seconds", "_tracer", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self.name = name
+        self.path = ""
+        self.seconds = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self):
+        self.path = self._tracer._push(self.name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.seconds = time.perf_counter() - self._t0
+        self._tracer._pop(self)
+        return False
+
+
+class Tracer:
+    """Thread-safe hierarchical tracer backed by a :class:`Metrics`
+    registry and (optionally) a JSONL event sink.
+
+    Each thread keeps its own span stack, so concurrent traversals
+    nest independently while their timings land in one registry.
+
+    Parameters
+    ----------
+    sink:
+        A :class:`~repro.instrument.events.JsonlSink`, a path (a sink
+        is opened for it), or None for metrics-only tracing.
+    emit_spans:
+        Also stream one JSONL record per closed span (off by default —
+        per-step records are usually the right granularity).
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None, emit_spans: bool = False, metrics: Metrics | None = None):
+        if sink is not None and not isinstance(sink, JsonlSink):
+            sink = JsonlSink(sink)
+        self.sink = sink
+        self.emit_spans = emit_spans
+        self.metrics = metrics or Metrics()
+        self._tls = threading.local()
+
+    # ----- span stack (per thread) ---------------------------------------------
+    def _stack(self) -> list:
+        try:
+            return self._tls.stack
+        except AttributeError:
+            self._tls.stack = []
+            return self._tls.stack
+
+    def _push(self, name: str) -> str:
+        stack = self._stack()
+        path = f"{stack[-1]}/{name}" if stack else name
+        stack.append(path)
+        return path
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] == span.path:
+            stack.pop()
+        elif span.path in stack:  # exception unwound through inner spans
+            del stack[stack.index(span.path):]
+        self.metrics.add_time(span.path, span.seconds)
+        if self.emit_spans and self.sink is not None:
+            self.sink.emit(
+                {"type": "span", "path": span.path, "seconds": span.seconds}
+            )
+
+    @property
+    def current_path(self) -> str:
+        stack = self._stack()
+        return stack[-1] if stack else ""
+
+    # ----- public API -----------------------------------------------------------
+    def span(self, name: str) -> Span:
+        return Span(self, name)
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        self.metrics.add_count(name, value)
+
+    def count_vec(self, name: str, values) -> None:
+        self.metrics.add_vec(name, values)
+
+    def emit(self, record: dict) -> None:
+        if self.sink is not None:
+            self.sink.emit(record)
+
+    def stage_times(self) -> dict[str, float]:
+        return self.metrics.stage_times()
+
+    @property
+    def counters(self) -> dict[str, float]:
+        return dict(self.metrics.counters)
+
+    def flush(self) -> None:
+        """Stream a counter/timer snapshot and flush the sink."""
+        if self.sink is not None:
+            self.sink.emit({"type": "metrics", **self.metrics.to_dict()})
+            self.sink.flush()
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.flush()
+            self.sink.close()
+
+
+_global_lock = threading.Lock()
+_global_tracer = NULL_TRACER
+
+
+def get_tracer():
+    """The process-wide tracer (a no-op :data:`NULL_TRACER` by default)."""
+    return _global_tracer
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` process-wide; ``None`` restores the no-op."""
+    global _global_tracer
+    with _global_lock:
+        _global_tracer = tracer if tracer is not None else NULL_TRACER
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Temporarily install ``tracer`` as the process-wide default."""
+    previous = get_tracer()
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -23,6 +23,7 @@ import math
 
 import numpy as np
 
+from ..instrument import get_tracer
 from .comm import SimComm
 
 __all__ = [
@@ -41,26 +42,34 @@ def alltoall_pairwise(comm: SimComm, send: list[list[np.ndarray]]):
     cost anything, which is why this wins for sparse patterns at scale.
     """
     p = comm.n_ranks
-    recv: list[list] = [[None] * p for _ in range(p)]
-    for i in range(p):
-        recv[i][i] = np.array(send[i][i], copy=True)
-    pow2 = p & (p - 1) == 0
-    for k in range(1, p):
-        msgs = []
+    tr = get_tracer()
+    with tr.span("alltoall.pairwise"):
+        recv: list[list] = [[None] * p for _ in range(p)]
         for i in range(p):
-            j = (i ^ k) if pow2 else (i + k) % p
-            if j == i:
-                continue
-            if np.asarray(send[i][j]).size == 0:
-                # sparse patterns skip empty partners entirely — the whole
-                # reason the trivial loop wins at scale (§3.1)
-                recv[j][i] = np.array(send[i][j], copy=True)
-                continue
-            msgs.append((i, j, send[i][j]))
-        inbox = comm.exchange_pairs(msgs)
-        for dst, items in enumerate(inbox):
-            for src, payload in items:
-                recv[dst][src] = payload
+            recv[i][i] = np.array(send[i][i], copy=True)
+        pow2 = p & (p - 1) == 0
+        skipped = 0
+        for k in range(1, p):
+            msgs = []
+            for i in range(p):
+                j = (i ^ k) if pow2 else (i + k) % p
+                if j == i:
+                    continue
+                if np.asarray(send[i][j]).size == 0:
+                    # sparse patterns skip empty partners entirely — the whole
+                    # reason the trivial loop wins at scale (§3.1)
+                    recv[j][i] = np.array(send[i][j], copy=True)
+                    skipped += 1
+                    continue
+                msgs.append((i, j, send[i][j]))
+            inbox = comm.exchange_pairs(msgs)
+            for dst, items in enumerate(inbox):
+                for src, payload in items:
+                    recv[dst][src] = payload
+    if tr.enabled:
+        tr.count("alltoall.pairwise.calls")
+        tr.count("alltoall.pairwise.rounds", p - 1)
+        tr.count("alltoall.pairwise.skipped_empty", skipped)
     return recv
 
 
@@ -73,49 +82,55 @@ def alltoall_hierarchical(comm: SimComm, send: list[list[np.ndarray]]):
     node is O(P) rather than O(P^2 / n_nodes).
     """
     p = comm.n_ranks
-    cpn = comm.machine.cores_per_node
-    n_nodes = math.ceil(p / cpn)
+    tr = get_tracer()
+    with tr.span("alltoall.hierarchical"):
+        cpn = comm.machine.cores_per_node
+        n_nodes = math.ceil(p / cpn)
 
-    def node_of(r):
-        return r // cpn
+        def node_of(r):
+            return r // cpn
 
-    def leader(node):
-        return node * cpn
+        def leader(node):
+            return node * cpn
 
-    # stage 1: on-node gather to leaders
-    stage1 = []
-    for i in range(p):
-        if i != leader(node_of(i)):
-            payload = np.concatenate(
-                [np.asarray(send[i][j]).ravel().view(np.uint8) for j in range(p)]
-            ) if p else np.empty(0, dtype=np.uint8)
-            stage1.append((i, leader(node_of(i)), payload))
-    comm.exchange_pairs(stage1)
+        # stage 1: on-node gather to leaders
+        stage1 = []
+        for i in range(p):
+            if i != leader(node_of(i)):
+                payload = np.concatenate(
+                    [np.asarray(send[i][j]).ravel().view(np.uint8) for j in range(p)]
+                ) if p else np.empty(0, dtype=np.uint8)
+                stage1.append((i, leader(node_of(i)), payload))
+        comm.exchange_pairs(stage1)
 
-    # stage 2: leader-to-leader exchange of combined traffic
-    stage2 = []
-    for a in range(n_nodes):
-        for b in range(n_nodes):
-            if a == b:
-                continue
-            members_a = [r for r in range(p) if node_of(r) == a]
-            members_b = [r for r in range(p) if node_of(r) == b]
-            blob = [np.asarray(send[i][j]).ravel().view(np.uint8)
-                    for i in members_a for j in members_b]
-            payload = np.concatenate(blob) if blob else np.empty(0, dtype=np.uint8)
-            stage2.append((leader(a), leader(b), payload))
-    comm.exchange_pairs(stage2)
+        # stage 2: leader-to-leader exchange of combined traffic
+        stage2 = []
+        for a in range(n_nodes):
+            for b in range(n_nodes):
+                if a == b:
+                    continue
+                members_a = [r for r in range(p) if node_of(r) == a]
+                members_b = [r for r in range(p) if node_of(r) == b]
+                blob = [np.asarray(send[i][j]).ravel().view(np.uint8)
+                        for i in members_a for j in members_b]
+                payload = np.concatenate(blob) if blob else np.empty(0, dtype=np.uint8)
+                stage2.append((leader(a), leader(b), payload))
+        comm.exchange_pairs(stage2)
 
-    # stage 3: on-node scatter from leaders
-    stage3 = []
-    for j in range(p):
-        if j != leader(node_of(j)):
-            payload = np.concatenate(
-                [np.asarray(send[i][j]).ravel().view(np.uint8) for i in range(p)]
-            ) if p else np.empty(0, dtype=np.uint8)
-            stage3.append((leader(node_of(j)), j, payload))
-    comm.exchange_pairs(stage3)
+        # stage 3: on-node scatter from leaders
+        stage3 = []
+        for j in range(p):
+            if j != leader(node_of(j)):
+                payload = np.concatenate(
+                    [np.asarray(send[i][j]).ravel().view(np.uint8) for i in range(p)]
+                ) if p else np.empty(0, dtype=np.uint8)
+                stage3.append((leader(node_of(j)), j, payload))
+        comm.exchange_pairs(stage3)
 
+    if tr.enabled:
+        tr.count("alltoall.hierarchical.calls")
+        tr.count("alltoall.hierarchical.leader_messages", len(stage2))
+        tr.count("alltoall.hierarchical.node_messages", len(stage1) + len(stage3))
     # data correctness: deliver the logical matrix (movement was costed above)
     return [[np.array(send[i][j], copy=True) for i in range(p)] for j in range(p)]
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..instrument import get_tracer
 from .machine import MachineModel
 
 __all__ = ["CostLedger", "SimComm"]
@@ -47,11 +48,12 @@ class SimComm:
     this granularity too (decomposition, tree build, traversal phases).
     """
 
-    def __init__(self, n_ranks: int, machine: MachineModel | None = None):
+    def __init__(self, n_ranks: int, machine: MachineModel | None = None, tracer=None):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
         self.n_ranks = int(n_ranks)
         self.machine = machine or MachineModel()
+        self.tracer = tracer
         self.ledger = CostLedger(
             bytes_sent=np.zeros(self.n_ranks),
             messages_sent=np.zeros(self.n_ranks, dtype=np.int64),
@@ -62,6 +64,13 @@ class SimComm:
         self.ledger.bytes_sent += per_rank_bytes
         self.ledger.messages_sent += per_rank_msgs
         self.ledger.time_s += time_s
+        tr = self.tracer if self.tracer is not None else get_tracer()
+        if tr.enabled:
+            tr.count("comm.bytes", float(np.sum(per_rank_bytes)))
+            tr.count("comm.messages", float(np.sum(per_rank_msgs)))
+            tr.count("comm.modeled_time_s", time_s)
+            tr.count_vec("comm.bytes_per_rank", per_rank_bytes)
+            tr.count_vec("comm.messages_per_rank", per_rank_msgs)
 
     @staticmethod
     def _nbytes(a) -> int:

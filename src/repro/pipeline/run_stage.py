@@ -15,27 +15,39 @@ from pathlib import Path
 
 import numpy as np
 
+from ..instrument import Tracer, get_tracer, use_tracer
+
 __all__ = ["run_stage"]
 
+_STAGES = {}
 
-def run_stage(config_path, workdir=None) -> dict:
+
+def run_stage(config_path, workdir=None, tracer=None) -> dict:
     """Run the stage described by a generated JSON config.
 
     Returns a small result summary dict (also printed).  Paths inside
     the config are resolved relative to ``workdir`` (default: the
-    config file's directory).
+    config file's directory).  Under an enabled tracer (passed here or
+    installed process-wide) the stage runs inside a
+    ``pipeline.<stage>`` span and the summary gains its wall time.
     """
     config_path = Path(config_path)
     cfg = json.loads(config_path.read_text())
     workdir = Path(workdir) if workdir else config_path.parent
     stage = cfg.get("stage")
-    if stage == "ic":
-        return _stage_ic(cfg, workdir)
-    if stage == "evolve":
-        return _stage_evolve(cfg, workdir)
-    if stage == "analysis":
-        return _stage_analysis(cfg, workdir)
-    raise ValueError(f"unknown stage {stage!r} in {config_path}")
+    fn = _STAGES.get(stage)
+    if fn is None:
+        raise ValueError(f"unknown stage {stage!r} in {config_path}")
+    tr = tracer if tracer is not None else get_tracer()
+    # install for the duration so the driver/solver underneath see it too
+    with use_tracer(tr), tr.span(f"pipeline.{stage}") as sp:
+        summary = fn(cfg, workdir)
+    if tr.enabled:
+        summary["wall_s"] = round(sp.seconds, 6)
+        tr.count(f"pipeline.{stage}.runs")
+        tr.emit({"type": "pipeline_stage", **summary})
+    print(json.dumps(summary))
+    return summary
 
 
 def _stage_ic(cfg, workdir):
@@ -63,9 +75,10 @@ def _stage_ic(cfg, workdir):
         out, ps, params=params, box_mpc_h=cfg["box_mpc_h"],
         git_tag=cfg.get("code_version"),
     )
-    summary = {"stage": "ic", "particles": len(ps), "output": str(out)}
-    print(json.dumps(summary))
-    return summary
+    return {"stage": "ic", "particles": len(ps), "output": str(out)}
+
+
+_STAGES["ic"] = _stage_ic
 
 
 def _stage_evolve(cfg, workdir):
@@ -104,9 +117,10 @@ def _stage_evolve(cfg, workdir):
             git_tag=cfg.get("code_version"),
         )
         written.append(str(out))
-    summary = {"stage": "evolve", "steps": len(sim.history), "snapshots": written}
-    print(json.dumps(summary))
-    return summary
+    return {"stage": "evolve", "steps": len(sim.history), "snapshots": written}
+
+
+_STAGES["evolve"] = _stage_evolve
 
 
 def _stage_analysis(cfg, workdir):
@@ -134,13 +148,30 @@ def _stage_analysis(cfg, workdir):
         results[snap] = entry
     out = workdir / "analysis_results.json"
     out.write_text(json.dumps(results, indent=1))
-    summary = {"stage": "analysis", "snapshots": len(results), "output": str(out)}
-    print(json.dumps(summary))
-    return summary
+    return {"stage": "analysis", "snapshots": len(results), "output": str(out)}
+
+
+_STAGES["analysis"] = _stage_analysis
 
 
 if __name__ == "__main__":
-    if len(sys.argv) != 2:
-        print("usage: python -m repro.pipeline.run_stage <config.json>")
+    argv = sys.argv[1:]
+    trace_path = None
+    if "--trace" in argv:
+        i = argv.index("--trace")
+        try:
+            trace_path = argv[i + 1]
+        except IndexError:
+            trace_path = None
+        del argv[i: i + 2]
+    if len(argv) != 1 or trace_path is None and "--trace" in sys.argv:
+        print("usage: python -m repro.pipeline.run_stage <config.json> [--trace out.jsonl]")
         raise SystemExit(2)
-    run_stage(sys.argv[1])
+    if trace_path is not None:
+        tr = Tracer(sink=trace_path)
+        try:
+            run_stage(argv[0], tracer=tr)
+        finally:
+            tr.close()
+    else:
+        run_stage(argv[0])

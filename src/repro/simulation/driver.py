@@ -25,6 +25,7 @@ import numpy as np
 from ..cosmology import Background, CosmologyParams, PLANCK2013
 from ..gravity import TreecodeConfig, TreecodeGravity
 from ..gravity.pm import TreePMConfig, TreePMGravity
+from ..instrument import JsonlSink, get_tracer
 from .ic import ICConfig, generate_ic
 from .integrator import LeapfrogIntegrator, StepController
 from .particles import ParticleSet
@@ -84,13 +85,41 @@ class StepRecord:
     layzer_irvine: float
     kinetic: float
     potential: float
+    #: per-stage wall times of this step's force call (tracing only)
+    stage_seconds: dict = field(default_factory=dict)
+
+    def to_record(self, step: int) -> dict:
+        """The structured per-step event streamed to JSONL."""
+        return {
+            "type": "step",
+            "step": step,
+            "a": self.a,
+            "dlna": self.dlna,
+            "wall": self.wall,
+            "interactions_per_particle": self.interactions_per_particle,
+            "layzer_irvine": self.layzer_irvine,
+            "kinetic": self.kinetic,
+            "potential": self.potential,
+            "stage_seconds": self.stage_seconds,
+        }
 
 
 class Simulation:
-    """Run a cosmological box and expose its state for analysis."""
+    """Run a cosmological box and expose its state for analysis.
 
-    def __init__(self, config: SimulationConfig, particles: ParticleSet | None = None):
+    Pass ``tracer=`` (or install one with
+    :func:`repro.instrument.set_tracer`) to collect per-stage force
+    timings and counters; the default no-op tracer costs nothing.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        particles: ParticleSet | None = None,
+        tracer=None,
+    ):
         self.config = config
+        self.tracer = tracer
         c = config
         if particles is None:
             ic = ICConfig(
@@ -110,6 +139,7 @@ class Simulation:
             dlna_max=c.dlna_max / c.dt_divider, eps=c.eps, max_refine=c.max_refine
         )
         self.history: list[StepRecord] = []
+        self.run_totals: dict = {}
         self._last_pot: np.ndarray | None = None
         self._li_accum = 0.0
         self._li_last: tuple[float, float, float] | None = None
@@ -119,8 +149,6 @@ class Simulation:
     def _setup_engine(self) -> None:
         c = self.config
         if c.engine == "tree":
-            import numpy as _np
-
             self._solver = TreecodeGravity(
                 TreecodeConfig(
                     p=c.p,
@@ -132,7 +160,7 @@ class Simulation:
                     softening=c.softening,
                     eps=c.eps,
                     want_potential=c.track_energy,
-                    dtype=_np.float32,
+                    dtype=np.float32,
                 )
             )
         elif c.engine == "treepm":
@@ -151,7 +179,8 @@ class Simulation:
         self.last_stats: dict = {}
 
     def _force(self, ps: ParticleSet) -> np.ndarray:
-        res = self._solver.compute(ps.pos, ps.mass)
+        tr = self.tracer if self.tracer is not None else get_tracer()
+        res = self._solver.compute(ps.pos, ps.mass, tracer=tr)
         self.last_stats = res.stats
         self._last_pot = res.pot
         return res.acc
@@ -165,38 +194,75 @@ class Simulation:
         w = -0.5 * float((ps.mass * self._last_pot).sum()) / a
         return t, w
 
-    def _update_layzer_irvine(self, a0: float, a1: float, t: float, w: float):
+    def _update_layzer_irvine(self, a: float, t: float, w: float):
         """Accumulate ∫ (da/a)(2T + W): the Layzer-Irvine integral.
 
         LI: d(T+W)/da = -(2T + W)/a, so T + W + accum is conserved.
         """
         if self._li_last is not None:
             a_prev, t_prev, w_prev = self._li_last
-            dlna = np.log(a1 / a_prev)
+            dlna = np.log(a / a_prev)
             self._li_accum += 0.5 * (
                 (2 * t_prev + w_prev) + (2 * t + w)
             ) * dlna
-        self._li_last = (a1, t, w)
+        self._li_last = (a, t, w)
         return t + w + self._li_accum
 
     # ----- main loop ----------------------------------------------------------------
-    def run(self, callback=None, max_steps: int = 10000) -> ParticleSet:
-        """Advance to a_final; ``callback(sim, record)`` fires per step."""
+    def run(self, callback=None, max_steps: int = 10000, jsonl=None) -> ParticleSet:
+        """Advance to a_final; ``callback(sim, record)`` fires per step.
+
+        One structured record per step (plus one for the pre-loop force
+        evaluation) goes to the tracer's sink and, if ``jsonl`` names a
+        path or stream, to that JSONL file as well.  ``run_totals``
+        afterwards holds run-level wall/interaction totals *including*
+        the initial force call, which per-step history alone misses.
+        """
         c = self.config
         ps = self.particles
-        acc = self._force(ps)
+        tr = self.tracer if self.tracer is not None else get_tracer()
+        sink = None
+        own_sink = False
+        if jsonl is not None:
+            if isinstance(jsonl, JsonlSink):
+                sink = jsonl
+            else:
+                sink = JsonlSink(jsonl)
+                own_sink = True
+
+        def emit(record: dict) -> None:
+            tr.emit(record)
+            if sink is not None:
+                sink.emit(record)
+
+        t_run0 = time.perf_counter()
+        with tr.span("init_force"):
+            acc = self._force(ps)
+        init_wall = time.perf_counter() - t_run0
+        init_ipp = self.last_stats.get("interactions_per_particle", 0.0)
         self.integrator.n_force_calls += 1
+        emit(
+            {
+                "type": "init_force",
+                "a": ps.a,
+                "wall": init_wall,
+                "interactions_per_particle": init_ipp,
+                "stage_seconds": self.last_stats.get("stage_seconds", {}),
+            }
+        )
         steps = 0
+        first_step = len(self.history)
         while ps.a < c.a_final * (1 - 1e-12) and steps < max_steps:
             t0 = time.perf_counter()
-            if c.adaptive:
-                dlna = self.controller.choose(c.cosmology, ps, acc, ps.a)
-            else:
-                dlna = self.controller.dlna_max
-            a_next = min(ps.a * np.exp(dlna), c.a_final)
-            acc = self.integrator.step_kdk(ps, a_next, acc0=acc)
-            t, w = self._energies(ps, ps.a)
-            li = self._update_layzer_irvine(ps.a, ps.a, t, w)
+            with tr.span("step"):
+                if c.adaptive:
+                    dlna = self.controller.choose(c.cosmology, ps, acc, ps.a)
+                else:
+                    dlna = self.controller.dlna_max
+                a_next = min(ps.a * np.exp(dlna), c.a_final)
+                acc = self.integrator.step_kdk(ps, a_next, acc0=acc)
+                t, w = self._energies(ps, ps.a)
+                li = self._update_layzer_irvine(ps.a, t, w)
             rec = StepRecord(
                 a=ps.a,
                 dlna=dlna,
@@ -207,9 +273,24 @@ class Simulation:
                 layzer_irvine=li,
                 kinetic=t,
                 potential=w,
+                stage_seconds=self.last_stats.get("stage_seconds", {}),
             )
             self.history.append(rec)
+            emit(rec.to_record(len(self.history)))
             if callback is not None:
                 callback(self, rec)
             steps += 1
+        new = self.history[first_step:]
+        self.run_totals = {
+            "wall_s": time.perf_counter() - t_run0,
+            "steps": steps,
+            "init_force_wall_s": init_wall,
+            "init_interactions_per_particle": init_ipp,
+            "step_wall_s": float(sum(r.wall for r in new)),
+            "interactions_per_particle": init_ipp
+            + float(sum(r.interactions_per_particle for r in new)),
+        }
+        emit({"type": "run_totals", **self.run_totals})
+        if sink is not None:
+            sink.close() if own_sink else sink.flush()
         return ps

@@ -1,0 +1,398 @@
+"""Tests for the instrumentation subsystem (tracer, metrics, events,
+reports, perfmodel cross-check) and its wiring through the stack."""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.instrument import (
+    JsonlSink,
+    Metrics,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    force_stage_table,
+    force_stage_totals,
+    get_tracer,
+    perfmodel_crosscheck,
+    read_jsonl,
+    set_tracer,
+    stage_breakdown_table,
+    step_summary_table,
+    use_tracer,
+)
+from repro.instrument.crosscheck import flops_from_stats
+
+
+class TestSpans:
+    def test_nesting_builds_paths(self):
+        tr = Tracer()
+        with tr.span("outer") as so:
+            assert tr.current_path == "outer"
+            with tr.span("inner") as si:
+                assert tr.current_path == "outer/inner"
+            assert tr.current_path == "outer"
+        assert so.path == "outer"
+        assert si.path == "outer/inner"
+        assert set(tr.stage_times()) == {"outer", "outer/inner"}
+
+    def test_timing_monotonicity(self):
+        """Outer spans contain inner ones: outer >= inner >= slept time."""
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                time.sleep(0.01)
+        times = tr.stage_times()
+        assert times["outer/inner"] >= 0.01
+        assert times["outer"] >= times["outer/inner"]
+
+    def test_repeated_spans_accumulate(self):
+        tr = Tracer()
+        for _ in range(3):
+            with tr.span("work"):
+                pass
+        assert tr.metrics.timers["work"].calls == 3
+        assert tr.stage_times()["work"] >= 0.0
+
+    def test_exception_unwinds_stack(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("outer"):
+                with tr.span("inner"):
+                    raise RuntimeError("boom")
+        assert tr.current_path == ""
+        assert set(tr.stage_times()) == {"outer", "outer/inner"}
+
+    def test_threads_get_independent_stacks(self):
+        tr = Tracer()
+        paths = []
+
+        def worker(name):
+            with tr.span(name):
+                time.sleep(0.005)
+                paths.append(tr.current_path)
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # no cross-thread nesting: every recorded path is a root span
+        assert sorted(paths) == [f"t{i}" for i in range(4)]
+        assert all("/" not in p for p in tr.stage_times())
+
+
+class TestCounters:
+    def test_scalar_aggregation(self):
+        tr = Tracer()
+        tr.count("interactions", 10)
+        tr.count("interactions", 32)
+        tr.count("calls")
+        assert tr.counters == {"interactions": 42.0, "calls": 1.0}
+
+    def test_vector_aggregation_and_growth(self):
+        m = Metrics()
+        m.add_vec("bytes_per_rank", [1.0, 2.0])
+        m.add_vec("bytes_per_rank", [10.0, 20.0])
+        np.testing.assert_allclose(m.vectors["bytes_per_rank"], [11.0, 22.0])
+        m.add_vec("bytes_per_rank", [1.0, 1.0, 1.0])
+        np.testing.assert_allclose(m.vectors["bytes_per_rank"], [12.0, 23.0, 1.0])
+
+    def test_merge(self):
+        a, b = Metrics(), Metrics()
+        a.add_count("x", 1)
+        a.add_time("s", 0.5)
+        b.add_count("x", 2)
+        b.add_count("y", 3)
+        b.add_time("s", 0.25)
+        a.merge(b)
+        assert a.counters == {"x": 3.0, "y": 3.0}
+        assert a.timers["s"].total_s == pytest.approx(0.75)
+        assert a.timers["s"].calls == 2
+
+    def test_to_dict_is_json_serializable(self):
+        m = Metrics()
+        m.add_count("c", 1)
+        m.add_time("t", 0.1)
+        m.add_vec("v", np.arange(3))
+        json.dumps(m.to_dict())
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tr = Tracer(sink=path, emit_spans=True)
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        tr.count("n", 7)
+        tr.emit({"type": "custom", "value": np.float64(1.5), "arr": np.arange(2)})
+        tr.close()
+        records = read_jsonl(path)
+        types = [r["type"] for r in records]
+        assert types.count("span") == 2
+        assert "custom" in types and "metrics" in types
+        spans = {r["path"]: r for r in records if r["type"] == "span"}
+        assert spans["a/b"]["seconds"] <= spans["a"]["seconds"]
+        custom = next(r for r in records if r["type"] == "custom")
+        assert custom["value"] == 1.5 and custom["arr"] == [0, 1]
+        metrics = next(r for r in records if r["type"] == "metrics")
+        assert metrics["counters"]["n"] == 7.0
+
+    def test_sink_wraps_stream(self):
+        import io
+
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.emit({"k": 1})
+        sink.close()  # must not close a caller-owned stream
+        assert json.loads(buf.getvalue()) == {"k": 1}
+
+
+class TestNullTracer:
+    def test_is_default(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_all_operations_noop(self):
+        nt = NullTracer()
+        with nt.span("x") as sp:
+            nt.count("c", 1)
+            nt.count_vec("v", [1.0])
+            nt.emit({"a": 1})
+        assert sp.seconds == 0.0
+        assert nt.stage_times() == {} and nt.counters == {}
+
+    def test_overhead_is_tiny(self):
+        """A null span must cost far less than a microsecond."""
+        nt = NullTracer()
+        n = 100_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with nt.span("x"):
+                pass
+        per_span = (time.perf_counter() - t0) / n
+        assert per_span < 5e-6
+
+    def test_set_and_use_tracer(self):
+        tr = Tracer()
+        with use_tracer(tr):
+            assert get_tracer() is tr
+        assert get_tracer() is NULL_TRACER
+        set_tracer(tr)
+        try:
+            assert get_tracer() is tr
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+
+@pytest.fixture(scope="module")
+def traced_compute():
+    from repro.gravity import TreecodeConfig, TreecodeGravity
+
+    rng = np.random.default_rng(3)
+    pos = rng.random((800, 3))
+    mass = np.full(800, 1.0 / 800)
+    tr = Tracer()
+    solver = TreecodeGravity(
+        TreecodeConfig(p=2, errtol=1e-3, periodic=True, background=True)
+    )
+    res = solver.compute(pos, mass, tracer=tr)
+    return tr, res
+
+
+class TestSolverWiring:
+    def test_stage_times_present_and_sum_to_total(self, traced_compute):
+        _, res = traced_compute
+        stage = res.stats["stage_seconds"]
+        assert set(stage) == {"build", "moments", "traverse", "evaluate", "lattice"}
+        assert all(s >= 0.0 for s in stage.values())
+        total = res.stats["force_seconds"]
+        assert sum(stage.values()) <= total
+        assert sum(stage.values()) == pytest.approx(total, rel=0.10)
+
+    def test_counters_and_flops(self, traced_compute):
+        tr, res = traced_compute
+        assert tr.counters["force.calls"] == 1.0
+        assert tr.counters["force.interactions"] > 0
+        assert res.stats["flops"] == flops_from_stats(res.stats)
+        assert res.stats["flops"] > res.stats["cell_interactions"]
+
+    def test_no_stats_without_tracing(self):
+        from repro.gravity import TreecodeConfig, TreecodeGravity
+
+        rng = np.random.default_rng(4)
+        pos = rng.random((200, 3))
+        mass = np.full(200, 1.0 / 200)
+        res = TreecodeGravity(TreecodeConfig(p=2, errtol=1e-2)).compute(pos, mass)
+        assert "stage_seconds" not in res.stats
+        assert "flops" not in res.stats
+
+    def test_treepm_stage_times(self):
+        from repro.gravity.pm import TreePMConfig, TreePMGravity
+
+        rng = np.random.default_rng(5)
+        pos = rng.random((300, 3))
+        mass = np.full(300, 1.0 / 300)
+        tr = Tracer()
+        res = TreePMGravity(TreePMConfig(ngrid=16, p=2, errtol=1e-2)).compute(
+            pos, mass, tracer=tr
+        )
+        stage = res.stats["stage_seconds"]
+        assert set(stage) == {"pm", "build", "moments", "traverse", "evaluate"}
+        assert sum(stage.values()) == pytest.approx(
+            res.stats["force_seconds"], rel=0.10
+        )
+
+
+class TestDriverWiring:
+    @pytest.fixture(scope="class")
+    def traced_sim(self, tmp_path_factory):
+        from repro.simulation import Simulation, SimulationConfig
+
+        path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+        tr = Tracer()
+        cfg = SimulationConfig(
+            n_per_dim=8, box_mpc_h=50.0, a_init=0.1, a_final=0.14,
+            errtol=1e-3, p=2, max_refine=1, seed=2,
+        )
+        sim = Simulation(cfg, tracer=tr)
+        sim.run(jsonl=path)
+        return sim, tr, path
+
+    def test_run_totals_include_init_force(self, traced_sim):
+        sim, _, _ = traced_sim
+        rt = sim.run_totals
+        assert rt["init_force_wall_s"] > 0.0
+        assert rt["init_interactions_per_particle"] > 0.0
+        assert rt["steps"] == len(sim.history)
+        per_step = sum(r.interactions_per_particle for r in sim.history)
+        assert rt["interactions_per_particle"] == pytest.approx(
+            per_step + rt["init_interactions_per_particle"]
+        )
+        assert rt["wall_s"] >= rt["init_force_wall_s"] + rt["step_wall_s"] - 1e-6
+
+    def test_jsonl_stream_has_one_record_per_step(self, traced_sim):
+        sim, _, path = traced_sim
+        records = read_jsonl(path)
+        types = [r["type"] for r in records]
+        assert types[0] == "init_force" and types[-1] == "run_totals"
+        steps = [r for r in records if r["type"] == "step"]
+        assert len(steps) == len(sim.history)
+        assert [r["step"] for r in steps] == list(range(1, len(steps) + 1))
+        assert all(r["stage_seconds"]["evaluate"] > 0.0 for r in steps)
+
+    def test_step_records_carry_stage_seconds(self, traced_sim):
+        sim, _, _ = traced_sim
+        for rec in sim.history:
+            assert rec.stage_seconds["evaluate"] > 0.0
+
+    def test_force_stage_totals_cover_force_time(self, traced_sim):
+        """The acceptance check: per-stage sums within 10% of force total."""
+        _, tr, _ = traced_sim
+        times = tr.stage_times()
+        stage = force_stage_totals(times)
+        force_total = sum(v for k, v in times.items() if k.endswith("/force"))
+        assert sum(stage.values()) == pytest.approx(force_total, rel=0.10)
+
+    def test_untraced_run_unchanged(self):
+        from repro.simulation import Simulation, SimulationConfig
+
+        cfg = SimulationConfig(
+            n_per_dim=8, box_mpc_h=50.0, a_init=0.1, a_final=0.12,
+            errtol=1e-3, p=2, max_refine=1, seed=2,
+        )
+        sim = Simulation(cfg)
+        sim.run()
+        assert sim.history[0].stage_seconds == {}
+        assert sim.run_totals["steps"] == len(sim.history)
+
+
+class TestParallelWiring:
+    def test_comm_counts_messages_and_bytes_per_rank(self):
+        from repro.parallel.comm import SimComm
+
+        tr = Tracer()
+        comm = SimComm(3, tracer=tr)
+        send = [[np.zeros(5, dtype=np.uint8) for _ in range(3)] for _ in range(3)]
+        comm.alltoallv(send)
+        c = tr.counters
+        assert c["comm.bytes"] == comm.ledger.total_bytes()
+        assert c["comm.messages"] == comm.ledger.total_messages()
+        vec = tr.metrics.vectors["comm.bytes_per_rank"]
+        np.testing.assert_allclose(vec, comm.ledger.bytes_sent)
+
+    def test_comm_uses_ambient_tracer(self):
+        from repro.parallel.comm import SimComm
+
+        tr = Tracer()
+        with use_tracer(tr):
+            comm = SimComm(2)
+            comm.bcast(np.zeros(4))
+        assert tr.counters["comm.messages"] > 0
+
+    def test_alltoall_strategies_traced(self):
+        from repro.parallel.alltoall import alltoall_hierarchical, alltoall_pairwise
+        from repro.parallel.comm import SimComm
+
+        tr = Tracer()
+        with use_tracer(tr):
+            comm = SimComm(4)
+            send = [
+                [np.full(2, i * 4 + j, dtype=np.uint8) for j in range(4)]
+                for i in range(4)
+            ]
+            alltoall_pairwise(comm, send)
+            alltoall_hierarchical(comm, send)
+        times = tr.stage_times()
+        assert times["alltoall.pairwise"] > 0.0
+        assert times["alltoall.hierarchical"] > 0.0
+        assert tr.counters["alltoall.pairwise.rounds"] == 3.0
+
+
+class TestReports:
+    def test_stage_breakdown_table(self):
+        txt = stage_breakdown_table(
+            {"build": 1.0, "evaluate": 3.0}, total=5.0, title="T"
+        )
+        assert "(unattributed)" in txt and "Total" in txt
+        assert "0.2" in txt and "0.6" in txt
+
+    def test_force_stage_table_requires_tracing(self):
+        with pytest.raises(ValueError):
+            force_stage_table({"interactions_per_particle": 1.0})
+
+    def test_force_stage_table_renders(self, traced_compute):
+        _, res = traced_compute
+        txt = force_stage_table(res.stats)
+        assert "Tree Build" in txt and "Force Evaluation" in txt
+
+    def test_step_summary_from_dicts_and_records(self, tmp_path):
+        recs = [
+            {"type": "init_force", "wall": 0.1},
+            {"type": "step", "step": 1, "a": 0.1, "dlna": 0.125, "wall": 0.2,
+             "interactions_per_particle": 900.0, "layzer_irvine": 0.0},
+        ]
+        txt = step_summary_table(recs)
+        assert "900" in txt and txt.count("\n") == 2  # title + header + 1 row
+
+
+class TestCrossCheck:
+    def test_flops_from_stats(self):
+        stats = {"order": 2, "cell_interactions": 10, "pp_interactions": 5,
+                 "prism_interactions": 1}
+        f = flops_from_stats(stats)
+        assert f > 10 * 28  # cell interactions cost more than monopole pp
+
+    def test_crosscheck_from_traced_stats(self, traced_compute):
+        _, res = traced_compute
+        cc = perfmodel_crosscheck(res.stats)
+        assert cc.flops == res.stats["flops"]
+        assert cc.measured_evaluate_s == res.stats["stage_seconds"]["evaluate"]
+        assert cc.predicted_evaluate_s > 0.0
+        assert cc.achieved_gflops > 0.0
+        assert "Gflop/s" in cc.render()
