@@ -1,0 +1,132 @@
+"""Speedup curve of the shared-memory force executor (ISSUE acceptance).
+
+Times one full periodic treecode force solve (build + moments are
+shared serial work; traverse + evaluate run on the pool) on a uniform
+random box, serial and at 1/2/4/8 workers, and writes the curve to
+``BENCH_parallel.json`` next to this file.
+
+The pool is persistent, so each worker count is timed on a *second*
+call — steady-state per-step cost, not process spin-up.  The emitted
+JSON records ``cpu_count`` because the speedup ceiling is the host's:
+on a single-core container every worker count measures ~1x (plus IPC
+overhead) no matter what the executor does; ≥2x at 4 workers needs
+≥4 physical cores.
+
+Sizes::
+
+    REPRO_BENCH_PAR_N        particles per dimension (default 40 -> 64000,
+                             the acceptance configuration; use 12-16 for
+                             a quick smoke run)
+    REPRO_BENCH_PAR_WORKERS  comma-separated worker counts (default 1,2,4,8)
+    REPRO_BENCH_PAR_ERRTOL   MAC tolerance (default 1e-4)
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_parallel_speedup.py``)
+or via pytest.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.gravity import TreecodeConfig, TreecodeGravity
+
+OUT_PATH = Path(__file__).parent / "BENCH_parallel.json"
+
+PAR_N = int(os.environ.get("REPRO_BENCH_PAR_N", "40"))
+WORKER_COUNTS = [
+    int(w)
+    for w in os.environ.get("REPRO_BENCH_PAR_WORKERS", "1,2,4,8").split(",")
+]
+ERRTOL = float(os.environ.get("REPRO_BENCH_PAR_ERRTOL", "1e-4"))
+
+
+def _particles(n_per_dim: int, seed: int = 2013):
+    rng = np.random.default_rng(seed)
+    n = n_per_dim**3
+    pos = rng.random((n, 3))
+    mass = np.full(n, 1.0 / n)
+    return pos, mass
+
+
+def _config(workers: int) -> TreecodeConfig:
+    return TreecodeConfig(
+        p=2,
+        errtol=ERRTOL,
+        periodic=True,
+        background=True,
+        want_potential=False,
+        workers=workers,
+    )
+
+
+def _time_solve(workers: int, pos, mass):
+    """Wall time of one steady-state force solve at ``workers``."""
+    with TreecodeGravity(_config(workers)) as solver:
+        res = solver.compute(pos, mass, box=1.0)  # warm pool + caches
+        t0 = time.perf_counter()
+        res = solver.compute(pos, mass, box=1.0)
+        wall = time.perf_counter() - t0
+    ex = res.stats.get("executor", {})
+    return wall, res.acc, ex.get("load_imbalance", 0.0)
+
+
+def run_curve() -> dict:
+    pos, mass = _particles(PAR_N)
+    serial_wall, serial_acc, _ = _time_solve(0, pos, mass)
+    curve = []
+    for w in WORKER_COUNTS:
+        wall, acc, imbalance = _time_solve(w, pos, mass)
+        scale = float(np.abs(serial_acc).max())
+        err = float(np.abs(acc - serial_acc).max()) / scale
+        curve.append(
+            {
+                "workers": w,
+                "wall_s": round(wall, 6),
+                "speedup": round(serial_wall / wall, 4),
+                "load_imbalance": round(imbalance, 4),
+                "max_rel_err_vs_serial": err,
+            }
+        )
+    result = {
+        "bench": "parallel_speedup",
+        "n_particles": PAR_N**3,
+        "errtol": ERRTOL,
+        "cpu_count": os.cpu_count(),
+        "start_method": os.environ.get("REPRO_START_METHOD") or "default",
+        "serial_wall_s": round(serial_wall, 6),
+        "curve": curve,
+    }
+    return result
+
+
+def _report(result: dict) -> None:
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(
+        f"\n=== Parallel speedup ({result['n_particles']} particles, "
+        f"errtol {result['errtol']:g}, {result['cpu_count']} cpu) ==="
+    )
+    print(f"serial: {result['serial_wall_s']:.3f}s")
+    for row in result["curve"]:
+        print(
+            f"workers={row['workers']}: {row['wall_s']:.3f}s  "
+            f"speedup={row['speedup']:.2f}x  "
+            f"imbalance={row['load_imbalance']:.3f}  "
+            f"err={row['max_rel_err_vs_serial']:.2e}"
+        )
+    print(f"wrote {OUT_PATH}")
+
+
+def test_parallel_speedup(benchmark):
+    from _simlib import once
+
+    result = once(benchmark, run_curve)
+    _report(result)
+    for row in result["curve"]:
+        assert row["max_rel_err_vs_serial"] < 1e-10
+
+
+if __name__ == "__main__":
+    _report(run_curve())

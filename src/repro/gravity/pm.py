@@ -175,6 +175,8 @@ class TreePMConfig:
     softening: str = "spline"
     eps: float = 0.01
     G: float = 1.0
+    #: worker processes for the short-range tree half (0 = serial)
+    workers: int = 0
 
 
 class TreePMGravity:
@@ -183,6 +185,20 @@ class TreePMGravity:
     def __init__(self, config: TreePMConfig | None = None):
         self.config = config or TreePMConfig()
         self.last_stats: dict = {}
+        self._executor = None
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for serial configurations)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
 
     def compute(
         self, pos: np.ndarray, mass: np.ndarray, box: float = 1.0, tracer=None
@@ -200,25 +216,52 @@ class TreePMGravity:
                 tree = build_tree(pos, mass, box=box, nleaf=cfg.nleaf)
             with tr.span("moments") as sp_moments:
                 moms = compute_moments(tree, p=cfg.p, tol=cfg.errtol)
-            with tr.span("traverse") as sp_traverse:
-                inter = traverse(tree, moms, periodic=True, ws=1)
-                inter = _prune_far(tree, moms, inter, cfg.rcut * r_split)
-            with tr.span("evaluate") as sp_evaluate:
-                base = make_softening(cfg.softening, cfg.eps)
-                sr = ShortRangeSoftening(base, r_split)
-                res = evaluate_forces(
-                    tree,
-                    moms,
-                    inter,
-                    softening=sr,
-                    G=cfg.G,
-                    kernel=ErfcKernel(1.0 / (2.0 * r_split)),
-                )
-                res.acc += acc_long
-                if res.pot is not None:
-                    res.pot += pot_long
+            base = make_softening(cfg.softening, cfg.eps)
+            sr = ShortRangeSoftening(base, r_split)
+            inter = None
+            if cfg.workers:
+                from ..parallel.executor import ensure_executor
+
+                self._executor = ensure_executor(self._executor, cfg.workers)
+                with tr.span("execute") as sp_execute:
+                    res = self._executor.compute(
+                        tree,
+                        moms,
+                        periodic=True,
+                        ws=1,
+                        softening=sr,
+                        G=cfg.G,
+                        kernel=ErfcKernel(1.0 / (2.0 * r_split)),
+                        rcut=cfg.rcut * r_split,
+                        tracer=tr,
+                    )
+            else:
+                with tr.span("traverse") as sp_traverse:
+                    inter = traverse(tree, moms, periodic=True, ws=1)
+                    inter = _prune_far(tree, moms, inter, cfg.rcut * r_split)
+                with tr.span("evaluate") as sp_evaluate:
+                    res = evaluate_forces(
+                        tree,
+                        moms,
+                        inter,
+                        softening=sr,
+                        G=cfg.G,
+                        kernel=ErfcKernel(1.0 / (2.0 * r_split)),
+                    )
+            res.acc += acc_long
+            if res.pot is not None:
+                res.pot += pot_long
         res.stats["r_split"] = r_split
-        res.stats["interactions_per_particle"] = inter.interactions_per_particle(tree)
+        if inter is not None:
+            res.stats["interactions_per_particle"] = (
+                inter.interactions_per_particle(tree)
+            )
+        else:
+            # sharded path: workers report the traversal-level count, the
+            # same accounting as inter.interactions_per_particle above
+            res.stats["interactions_per_particle"] = res.stats.get(
+                "traversal_interactions", 0
+            ) / max(tree.n_particles, 1)
         if tr.enabled:
             from ..instrument.crosscheck import flops_from_stats
 
@@ -226,9 +269,12 @@ class TreePMGravity:
                 "pm": sp_pm.seconds,
                 "build": sp_build.seconds,
                 "moments": sp_moments.seconds,
-                "traverse": sp_traverse.seconds,
-                "evaluate": sp_evaluate.seconds,
             }
+            if inter is not None:
+                res.stats["stage_seconds"]["traverse"] = sp_traverse.seconds
+                res.stats["stage_seconds"]["evaluate"] = sp_evaluate.seconds
+            else:
+                res.stats["stage_seconds"]["execute"] = sp_execute.seconds
             res.stats["force_seconds"] = sp_force.seconds
             res.stats["flops"] = flops_from_stats(res.stats)
             tr.count("force.calls")

@@ -49,6 +49,11 @@ class TreecodeConfig:
     G: float = 1.0
     dtype: type = np.float64
     want_potential: bool = True
+    #: worker processes for the traverse+evaluate stages; 0 = in-process
+    #: serial.  ``workers=1`` runs one pool worker over a single shard
+    #: and is bit-identical to serial; ``workers>1`` shards the sink
+    #: leaves (see :class:`repro.parallel.executor.ForceExecutor`).
+    workers: int = 0
 
 
 class TreecodeGravity:
@@ -67,9 +72,36 @@ class TreecodeGravity:
         self.last_tree: Tree | None = None
         self.last_moments: TreeMoments | None = None
         self.last_interactions: InteractionLists | None = None
+        self._executor = None
+        #: lattice sums depend only on geometry/order, not on the
+        #: particles — cache the expansion across compute() calls
+        self._ple_cache: dict[tuple, PeriodicLocalExpansion] = {}
 
     def _softening(self) -> SofteningKernel:
         return make_softening(self.config.softening, self.config.eps)
+
+    def _lattice_expansion(self, box: float) -> PeriodicLocalExpansion:
+        cfg = self.config
+        key = (cfg.p + 2, cfg.p_lattice, cfg.ws, box)
+        ple = self._ple_cache.get(key)
+        if ple is None:
+            ple = self._ple_cache[key] = PeriodicLocalExpansion(
+                p_source=key[0], p_local=key[1], ws=key[2], box=key[3]
+            )
+        return ple
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for serial configurations)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
 
     def compute(
         self,
@@ -107,45 +139,74 @@ class TreecodeGravity:
                     mean_density=mean_density if cfg.background else None,
                     mac=cfg.mac,
                 )
-            with tr.span("traverse") as sp_traverse:
-                inter = traverse(tree, moms, periodic=cfg.periodic, ws=cfg.ws)
-            with tr.span("evaluate") as sp_evaluate:
-                result = evaluate_forces(
-                    tree,
-                    moms,
-                    inter,
-                    softening=self._softening(),
-                    G=cfg.G,
-                    dtype=cfg.dtype,
-                    want_potential=cfg.want_potential,
-                )
+            inter = None
+            if cfg.workers:
+                from ..parallel.executor import ensure_executor
+
+                self._executor = ensure_executor(self._executor, cfg.workers)
+                with tr.span("execute") as sp_execute:
+                    result = self._executor.compute(
+                        tree,
+                        moms,
+                        periodic=cfg.periodic,
+                        ws=cfg.ws,
+                        softening=self._softening(),
+                        G=cfg.G,
+                        dtype=cfg.dtype,
+                        want_potential=cfg.want_potential,
+                        tracer=tr,
+                    )
+            else:
+                with tr.span("traverse") as sp_traverse:
+                    inter = traverse(tree, moms, periodic=cfg.periodic, ws=cfg.ws)
+                with tr.span("evaluate") as sp_evaluate:
+                    result = evaluate_forces(
+                        tree,
+                        moms,
+                        inter,
+                        softening=self._softening(),
+                        G=cfg.G,
+                        dtype=cfg.dtype,
+                        want_potential=cfg.want_potential,
+                    )
             lattice_s = 0.0
             if cfg.periodic and cfg.lattice_correction and cfg.background:
                 with tr.span("lattice") as sp_lattice:
                     root = int(np.flatnonzero(tree.cell_level == 0)[0])
-                    ple = PeriodicLocalExpansion(
-                        p_source=cfg.p + 2, p_local=cfg.p_lattice, ws=cfg.ws, box=box
-                    )
+                    ple = self._lattice_expansion(box)
                     pot_far, acc_far = ple.field(moms.moments[root], pos)
                     result.acc += cfg.G * acc_far.astype(result.acc.dtype)
                     if result.pot is not None:
                         result.pot += cfg.G * pot_far.astype(result.pot.dtype)
                 lattice_s = sp_lattice.seconds
-        result.stats["interactions_per_particle"] = inter.interactions_per_particle(
-            tree
-        )
+        if inter is not None:
+            result.stats["interactions_per_particle"] = (
+                inter.interactions_per_particle(tree)
+            )
+            result.stats["traversal_rounds"] = inter.rounds
+        else:
+            # sharded path: workers report the traversal-level count, the
+            # same accounting as inter.interactions_per_particle above
+            result.stats["interactions_per_particle"] = result.stats.get(
+                "traversal_interactions", 0
+            ) / max(tree.n_particles, 1)
         result.stats["n_cells"] = tree.n_cells
-        result.stats["traversal_rounds"] = inter.rounds
         if tr.enabled:
             from ..instrument.crosscheck import flops_from_stats
 
             stage = {
                 "build": sp_build.seconds,
                 "moments": sp_moments.seconds,
-                "traverse": sp_traverse.seconds,
-                "evaluate": sp_evaluate.seconds,
                 "lattice": lattice_s,
             }
+            if inter is not None:
+                stage["traverse"] = sp_traverse.seconds
+                stage["evaluate"] = sp_evaluate.seconds
+            else:
+                # sharded path: 'execute' is the pool wall-clock; the
+                # summed per-worker traverse/evaluate seconds live in
+                # stats["executor"] and the merged Metrics registry
+                stage["execute"] = sp_execute.seconds
             flops = flops_from_stats(result.stats, cfg.want_potential)
             result.stats["stage_seconds"] = stage
             result.stats["force_seconds"] = sp_force.seconds

@@ -21,12 +21,14 @@ Three interaction families:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..multipoles import multi_index_set
 from ..multipoles.codegen import compiled_dtensor_function
+from ..multipoles.multiindex import n_coeffs
 from ..multipoles.prism import prism_acceleration, prism_potential
 from ..multipoles.radial import NewtonianKernel, RadialKernel
 from ..tree.moments import TreeMoments
@@ -37,12 +39,39 @@ from .smoothing import NoSoftening, SofteningKernel
 
 __all__ = ["ForceResult", "evaluate_forces"]
 
+_AXES3 = np.arange(3, dtype=np.int64)
+
 
 def _scatter_add_vec(acc, idx, contrib):
-    """acc[idx] += contrib via bincount (much faster than np.add.at)."""
+    """acc[idx] += contrib, one bincount pass per axis.
+
+    Measured faster than the fused single-pass variant below at every
+    chunk size the evaluator produces (bench_table3_microkernel.py:
+    the 3x-longer interleaved index array costs more than the two
+    extra passes save).
+    """
     n = len(acc)
-    for i in range(acc.shape[1]):
+    for i in range(3):
         acc[:, i] += np.bincount(idx, weights=contrib[:, i], minlength=n)
+
+
+def _scatter_add_vec_fused(acc, idx, contrib):
+    """acc[idx] += contrib via one fused bincount pass.
+
+    Interleaving the axis into the bin index ((idx, axis) -> idx*3+axis)
+    folds the three per-axis bincount passes into a single traversal of
+    the contribution array; per-bin accumulation order is unchanged, so
+    the sums are bit-identical to the per-axis version.  Kept as the
+    benchmarked alternative — see ``_scatter_add_vec`` for why it is
+    not the production kernel.
+    """
+    n = len(acc)
+    flat = np.bincount(
+        (idx[:, None] * 3 + _AXES3).ravel(),
+        weights=contrib.ravel(),
+        minlength=3 * n,
+    )
+    acc += flat.reshape(n, 3)
 
 
 def _scatter_add(pot, idx, contrib):
@@ -58,8 +87,9 @@ class ForceResult:
     stats: dict = field(default_factory=dict)
 
 
+@functools.lru_cache(maxsize=32)
 def _acc_columns(p: int):
-    """Packed column indices of D_{alpha+e_i} for each axis i."""
+    """Packed column indices of D_{alpha+e_i} for each axis i (cached)."""
     mis = multi_index_set(p)
     mis_hi = multi_index_set(p + 1)
     cols = np.empty((3, len(mis)), dtype=np.intp)
@@ -82,6 +112,7 @@ def evaluate_forces(
     kernel: RadialKernel | None = None,
     cell_chunk: int | None = None,
     pp_chunk: int = 262144,
+    particle_range: tuple[int, int] | None = None,
 ) -> ForceResult:
     """Evaluate all interactions; returns fields in original particle order.
 
@@ -94,13 +125,25 @@ def evaluate_forces(
     dtype:
         Accumulation precision (float32 reproduces the single-precision
         behaviour of Fig. 6 / Table 3).
+    particle_range:
+        Half-open (start, end) range of *key-sorted* particle indices
+        covering every sink in ``inter`` (a shard of SFC-contiguous
+        sink leaves).  Output arrays then have length ``end - start``,
+        stay in key-sorted order and skip the final unsort/astype — the
+        caller (the shared-memory executor) merges disjoint shard
+        slices and unsorts once.
     """
     softening = softening or NoSoftening()
     kernel = kernel or NewtonianKernel()
     p = moms.p
-    n = tree.n_particles
+    s0, s1 = particle_range if particle_range is not None else (0, tree.n_particles)
+    n = s1 - s0
     acc = np.zeros((n, 3), dtype=np.float64)
     pot = np.zeros(n, dtype=np.float64) if want_potential else None
+
+    def loc(idx):
+        """Global sorted particle index -> local output row."""
+        return idx - s0 if s0 else idx
     stats = {
         "cell_interactions": 0,
         "pp_interactions": 0,
@@ -112,8 +155,6 @@ def evaluate_forces(
     w = ((-1.0) ** mis.order) / mis.factorial
     cols = _acc_columns(p)
     ncoef = len(mis)
-    from ..multipoles.multiindex import n_coeffs
-
     nhi = n_coeffs(p + 1)
     dt_fn = compiled_dtensor_function(p + 1)
     if cell_chunk is None:
@@ -150,10 +191,10 @@ def evaluate_forces(
                 a_contrib[:, i] = np.einsum(
                     "ij,ij->i", out[:, cols[i]], wm
                 )
-            _scatter_add_vec(acc, pidx[rows], a_contrib.astype(np.float64))
+            _scatter_add_vec(acc, loc(pidx[rows]), a_contrib.astype(np.float64))
             if want_potential:
                 p_contrib = np.einsum("ij,ij->i", out[:, :ncoef], wm)
-                _scatter_add(pot, pidx[rows], p_contrib.astype(np.float64))
+                _scatter_add(pot, loc(pidx[rows]), p_contrib.astype(np.float64))
 
     # ----- particle-particle interactions --------------------------------------
     if len(inter.leaf_sink):
@@ -190,13 +231,15 @@ def evaluate_forces(
             f = softening.force_factor(r).astype(dtype, copy=False)
             f[self_pair] = 0.0
             fm = mass_w[src_part] * f
-            _scatter_add_vec(acc, sink_part, (-(fm[:, None] * dx)).astype(np.float64))
+            _scatter_add_vec(
+                acc, loc(sink_part), (-(fm[:, None] * dx)).astype(np.float64)
+            )
             if want_potential:
                 psi = softening.potential(r).astype(dtype, copy=False)
                 psi[self_pair] = 0.0
                 _scatter_add(
                     pot,
-                    sink_part,
+                    loc(sink_part),
                     (mass_w[src_part] * psi).astype(np.float64),
                 )
             row_start = row_end
@@ -228,15 +271,20 @@ def evaluate_forces(
             ctr = tree.cell_center[src[rows]] + inter.offsets[off[rows]]
             half = 0.5 * tree.cell_side[src[rows]][:, None]
             a = prism_acceleration(pts, ctr - half, ctr + half, rho)
-            _scatter_add_vec(acc, pidx[rows], a)
+            _scatter_add_vec(acc, loc(pidx[rows]), a)
             if want_potential:
                 u = prism_potential(pts, ctr - half, ctr + half, rho)
-                _scatter_add(pot, pidx[rows], u)
+                _scatter_add(pot, loc(pidx[rows]), u)
 
     if G != 1.0:
         acc *= G
         if want_potential:
             pot *= G
+
+    if particle_range is not None:
+        # shard mode: float64 key-sorted slice; the executor merges,
+        # unsorts and casts once so the result matches the serial path
+        return ForceResult(acc=acc, pot=pot, stats=stats)
 
     # unsort to original particle order
     acc_out = np.empty_like(acc)

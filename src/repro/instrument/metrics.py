@@ -105,6 +105,24 @@ class Metrics:
         for k, v in vectors.items():
             self.add_vec(k, v)
 
+    def merge_dict(self, snapshot: dict) -> None:
+        """Merge a :meth:`to_dict` snapshot (e.g. shipped back from a
+        worker process, where the live registry cannot be pickled)."""
+        for k, v in snapshot.get("timers", {}).items():
+            other = TimerStat(
+                v.get("total_s", 0.0), v.get("calls", 0),
+                v.get("min_s", float("inf")), v.get("max_s", 0.0),
+            )
+            with self._lock:
+                if k in self.timers:
+                    self.timers[k].merge(other)
+                else:
+                    self.timers[k] = other
+        for k, v in snapshot.get("counters", {}).items():
+            self.add_count(k, v)
+        for k, v in snapshot.get("vectors", {}).items():
+            self.add_vec(k, v)
+
     def to_dict(self) -> dict:
         """JSON-serializable snapshot of the whole registry."""
         with self._lock:

@@ -29,6 +29,7 @@ FORCE_STAGE_LABELS = {
     "pm": "Particle Mesh (FFT)",
     "prune": "Short-Range Prune",
     "evaluate": "Force Evaluation",
+    "execute": "Sharded Traverse+Evaluate",
     "lattice": "Periodic Lattice Expansion",
 }
 

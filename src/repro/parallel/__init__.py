@@ -22,6 +22,7 @@ from .branches import (
 )
 from .comm import CostLedger, SimComm
 from .domain import Decomposition, decompose, domain_surface_stats
+from .executor import ForceExecutor, ensure_executor
 from .machine import CLUSTER_LIKE, JAGUAR_LIKE, MachineModel
 from .ptraverse import ParallelTraversalStats, parallel_forces, parallel_traversal
 from .sort import american_flag_sort, choose_splitters, sample_sort
@@ -31,6 +32,7 @@ __all__ = [
     "CLUSTER_LIKE",
     "CostLedger",
     "Decomposition",
+    "ForceExecutor",
     "JAGUAR_LIKE",
     "MachineModel",
     "Message",
@@ -44,6 +46,7 @@ __all__ = [
     "coarsen_for_receiver",
     "decompose",
     "domain_surface_stats",
+    "ensure_executor",
     "estimate_buffered_memory_per_node",
     "exchange_global_concat",
     "exchange_hierarchical",

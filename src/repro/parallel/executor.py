@@ -1,0 +1,564 @@
+"""Shared-memory multi-worker force execution (sink-shard data parallelism).
+
+The serial->parallel seam of the whole stack: the paper's decomposition
+(§3.1-3.3) assigns each process an SFC-contiguous block of *sink*
+leaves and lets it traverse them against the global tree — who computes
+changes, what is computed never does.  :class:`ForceExecutor` realizes
+that on one shared-memory node:
+
+* a **persistent** pool of ``multiprocessing`` workers survives across
+  force calls, so per-step cost is array publication, not process
+  creation or module import;
+* per force call the particle / tree / moment arrays are published
+  **once** through ``multiprocessing.shared_memory`` — workers map the
+  same physical pages, nothing megabyte-sized is ever pickled;
+* sink leaves are split into SFC-contiguous shards (several per
+  worker, balanced by particle count) that workers pull from a shared
+  task queue — cheap work stealing, since per-leaf traversal cost is
+  skewed by clustering;
+* each worker runs :func:`~repro.tree.traversal.traverse` restricted
+  to its shard (the ``sink_leaves`` parameter) followed by
+  :func:`~repro.gravity.treeforce.evaluate_forces` over exactly those
+  sinks, writing its ``acc``/``pot`` slice into a shared output
+  segment.  Every sink particle belongs to exactly one shard, so the
+  slices are disjoint and the merge is deterministic — no reduction
+  race, no scheduling-dependent rounding.  At ``workers=1`` a single
+  shard reproduces the serial interaction stream bit for bit.
+
+Per-shard wall times come back through the result queue and merge into
+the parent :class:`~repro.instrument.metrics.Metrics`, turning the
+modeled load imbalance of :mod:`repro.parallel.ptraverse` into a
+measured one.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import queue as _queue
+import secrets
+import time
+import traceback
+import multiprocessing as mp
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ForceExecutor", "ensure_executor"]
+
+_SEG_PREFIX = "reprofx"
+
+#: tree / moment arrays each worker needs to traverse and evaluate
+_TREE_ARRAYS = (
+    "pos", "mass", "cell_level", "cell_first_child", "cell_nchildren",
+    "cell_start", "cell_count", "cell_is_ghost", "cell_center", "cell_side",
+)
+_MOM_ARRAYS = ("moments", "bmax", "r_crit")
+
+
+def _publish(arrays: dict[str, np.ndarray], tag: str):
+    """Copy arrays into fresh shared-memory segments.
+
+    Returns ``(meta, segments)`` where ``meta`` maps logical name ->
+    (segment name, shape, dtype str) — the only thing that crosses the
+    task queue.
+    """
+    meta = {}
+    segments = []
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        shm = shared_memory.SharedMemory(
+            create=True,
+            size=max(arr.nbytes, 1),
+            name=f"{_SEG_PREFIX}_{tag}_{name}_{secrets.token_hex(4)}",
+        )
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        meta[name] = (shm.name, arr.shape, arr.dtype.str)
+        segments.append(shm)
+    return meta, segments
+
+
+def _attach(meta: dict):
+    """Map published segments; returns (arrays, segments to keep alive).
+
+    Attaching normally registers the segment with the resource tracker
+    (on < 3.13 unconditionally), but only the *parent* owns these
+    segments: a worker registration would either double-unlink memory
+    the parent still uses (spawn, private tracker) or race the parent's
+    own unregistration (fork, shared tracker).  Registration is
+    suppressed for the duration of the attach — process-local, and only
+    ever executed inside worker processes.
+    """
+    from multiprocessing import resource_tracker
+
+    arrays = {}
+    segments = []
+    orig_register = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        for name, (shm_name, shape, dt) in meta.items():
+            shm = shared_memory.SharedMemory(name=shm_name)
+            arrays[name] = np.ndarray(
+                tuple(shape), dtype=np.dtype(dt), buffer=shm.buf
+            )
+            segments.append(shm)
+    finally:
+        resource_tracker.register = orig_register
+    return arrays, segments
+
+
+def _timer(seconds: float) -> dict:
+    return {"total_s": seconds, "calls": 1, "min_s": seconds, "max_s": seconds}
+
+
+class _WorkerState:
+    """One epoch's attached arrays + reconstructed tree/moments views."""
+
+    __slots__ = ("epoch", "segments", "tree", "moms", "task", "acc", "pot")
+
+    def __init__(self):
+        self.epoch = -1
+        self.segments = []
+        self.tree = self.moms = self.task = self.acc = self.pot = None
+
+    def release(self) -> None:
+        self.tree = self.moms = self.task = self.acc = self.pot = None
+        for shm in self.segments:
+            try:
+                shm.close()
+            except Exception:
+                pass
+        self.segments = []
+
+    def load(self, epoch: int, meta: dict) -> None:
+        from ..tree.moments import TreeMoments
+        from ..tree.structure import Tree
+
+        self.release()
+        arrays, self.segments = _attach(meta["segments"])
+        empty = np.empty(0)
+        self.tree = Tree(
+            box=meta["box"],
+            nleaf=meta["nleaf"],
+            pos=arrays["pos"],
+            mass=arrays["mass"],
+            keys=None,
+            order=None,
+            cell_key=None,
+            cell_level=arrays["cell_level"],
+            cell_parent=None,
+            cell_first_child=arrays["cell_first_child"],
+            cell_nchildren=arrays["cell_nchildren"],
+            cell_start=arrays["cell_start"],
+            cell_count=arrays["cell_count"],
+            cell_is_ghost=arrays["cell_is_ghost"],
+            cell_center=arrays["cell_center"],
+            cell_side=arrays["cell_side"],
+            hash=None,
+        )
+        m = meta["moms"]
+        self.moms = TreeMoments(
+            p=m["p"],
+            tol=m["tol"],
+            background=m["background"],
+            mean_density=m["mean_density"],
+            mac=m["mac"],
+            moments=arrays["moments"],
+            babs=empty,
+            bmax=arrays["bmax"],
+            mnorm=empty,
+            mnorm2=empty,
+            r_crit=arrays["r_crit"],
+        )
+        self.task = meta["task"]
+        self.acc = arrays["acc_out"]
+        self.pot = arrays.get("pot_out")
+        self.epoch = epoch
+
+
+def _run_shard(state: _WorkerState, sinks, s0: int, s1: int):
+    """Traverse + evaluate one shard, writing into the shared output."""
+    from ..gravity.treeforce import evaluate_forces
+    from ..tree.traversal import traverse
+
+    task = state.task
+    t0 = time.perf_counter()
+    inter = traverse(
+        state.tree,
+        state.moms,
+        periodic=task["periodic"],
+        ws=task["ws"],
+        sink_leaves=sinks,
+        xmax=task["xmax"],
+    )
+    if task["rcut"] is not None:
+        from ..gravity.pm import _prune_far
+
+        inter = _prune_far(state.tree, state.moms, inter, task["rcut"])
+    t1 = time.perf_counter()
+    res = evaluate_forces(
+        state.tree,
+        state.moms,
+        inter,
+        softening=task["softening"],
+        G=task["G"],
+        dtype=np.dtype(task["dtype"]).type,
+        want_potential=task["want_potential"],
+        kernel=task["kernel"],
+        particle_range=(s0, s1),
+    )
+    t2 = time.perf_counter()
+    state.acc[s0:s1] = res.acc
+    if state.pot is not None and res.pot is not None:
+        state.pot[s0:s1] = res.pot
+    stats = dict(res.stats)
+    stats["traversal_rounds"] = inter.rounds
+    # the serial solver reports interactions/particle from the traversal
+    # lists (which exclude the near-field background prism corrections
+    # that the evaluate counters include); keep the metric comparable
+    stats["traversal_interactions"] = (
+        inter.n_cell_interactions(state.tree)
+        + inter.n_pp_interactions(state.tree)
+        + inter.n_prism_interactions(state.tree)
+    )
+    n_inter = (
+        stats.get("cell_interactions", 0)
+        + stats.get("pp_interactions", 0)
+        + stats.get("prism_interactions", 0)
+    )
+    spans = {
+        "timers": {
+            "executor/traverse": _timer(t1 - t0),
+            "executor/evaluate": _timer(t2 - t1),
+            "executor/shard": _timer(t2 - t0),
+        },
+        "counters": {"executor.shards": 1, "executor.interactions": n_inter},
+    }
+    return stats, spans
+
+
+def _worker_main(worker_id: int, tasks, results) -> None:
+    """Persistent worker loop: pull shards until the ``None`` sentinel."""
+    state = _WorkerState()
+    while True:
+        msg = tasks.get()
+        if msg is None:
+            state.release()
+            return
+        epoch, meta, shard_id, sinks, s0, s1 = msg
+        try:
+            if epoch != state.epoch:
+                state.load(epoch, meta)
+            stats, spans = _run_shard(state, sinks, s0, s1)
+            results.put(("ok", epoch, shard_id, worker_id, stats, spans))
+        except Exception:
+            results.put(
+                ("err", epoch, shard_id, worker_id, traceback.format_exc(), None)
+            )
+
+
+class ForceExecutor:
+    """Persistent shared-memory worker pool for treecode force solves.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (>= 1).  ``workers=1`` runs the
+        whole sink set as a single shard in one worker and is
+        bit-identical to the serial path.
+    start_method:
+        ``multiprocessing`` start method ("fork", "spawn",
+        "forkserver"); default is the ``REPRO_START_METHOD``
+        environment variable, falling back to the platform default.
+    shards_per_worker:
+        Queue granularity for dynamic load balancing: the sink leaves
+        are cut into up to ``workers * shards_per_worker`` shards.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        start_method: str | None = None,
+        shards_per_worker: int = 4,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        method = start_method or os.environ.get("REPRO_START_METHOD") or None
+        self._ctx = mp.get_context(method)
+        self.workers = int(workers)
+        self.shards_per_worker = int(shards_per_worker)
+        self.closed = False
+        self._epoch = 0
+        self._tag = f"{os.getpid():x}{secrets.token_hex(2)}"
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._procs = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(i, self._tasks, self._results),
+                daemon=True,
+                name=f"repro-force-{i}",
+            )
+            for i in range(self.workers)
+        ]
+        for p in self._procs:
+            p.start()
+        atexit.register(self.close)
+
+    # ----- sharding -----------------------------------------------------------
+    def _make_shards(self, tree):
+        """SFC-contiguous sink-leaf shards balanced by particle count.
+
+        Returns ``[(shard_id, sinks, s0, s1), ...]`` where [s0, s1) are
+        the key-sorted particle indices owned by the shard; the ranges
+        tile [0, N) because SFC-sorted leaf ranges are contiguous.  A
+        single shard is encoded as ``sinks=None`` so the worker uses
+        the traversal's default sink order — the exact serial stream.
+        """
+        leaves = tree.leaf_indices
+        nshards = min(len(leaves), self.workers * self.shards_per_worker)
+        if self.workers == 1 or nshards <= 1:
+            return [(0, None, 0, tree.n_particles)]
+        order = np.argsort(tree.cell_start[leaves], kind="stable")
+        lsfc = leaves[order]
+        cum = np.cumsum(tree.cell_count[lsfc])
+        n = int(cum[-1])
+        targets = np.arange(1, nshards) * n / nshards
+        cuts = np.searchsorted(cum, targets, side="left") + 1
+        bounds = np.unique(np.concatenate([[0], cuts, [len(lsfc)]]))
+        shards = []
+        for sid, (b0, b1) in enumerate(zip(bounds[:-1], bounds[1:])):
+            sinks = lsfc[b0:b1]
+            s0 = int(tree.cell_start[sinks[0]])
+            s1 = int(tree.cell_start[sinks[-1]] + tree.cell_count[sinks[-1]])
+            shards.append((sid, sinks, s0, s1))
+        return shards
+
+    # ----- one force call -----------------------------------------------------
+    def compute(
+        self,
+        tree,
+        moms,
+        *,
+        periodic: bool = False,
+        ws: int = 1,
+        softening=None,
+        kernel=None,
+        G: float = 1.0,
+        dtype=np.float64,
+        want_potential: bool = True,
+        rcut: float | None = None,
+        xmax: float = 0.6,
+        tracer=None,
+    ):
+        """Traverse + evaluate all sink leaves across the pool.
+
+        The tree and moments must already be built (the upward pass is
+        cheap and serial); returns a
+        :class:`~repro.gravity.treeforce.ForceResult` in original
+        particle order, matching what the serial traverse/evaluate pair
+        would produce.
+        """
+        from ..gravity.treeforce import ForceResult
+        from ..instrument import get_tracer
+
+        if self.closed:
+            raise RuntimeError("executor is closed")
+        tr = tracer if tracer is not None else get_tracer()
+        self._epoch += 1
+        epoch = self._epoch
+        n = tree.n_particles
+
+        arrays = {name: getattr(tree, name) for name in _TREE_ARRAYS}
+        arrays.update({name: getattr(moms, name) for name in _MOM_ARRAYS})
+        arrays["acc_out"] = np.zeros((n, 3), dtype=np.float64)
+        if want_potential:
+            arrays["pot_out"] = np.zeros(n, dtype=np.float64)
+        meta_segments, segments = _publish(arrays, f"{self._tag}{epoch:x}")
+        meta = {
+            "segments": meta_segments,
+            "box": float(tree.box),
+            "nleaf": int(tree.nleaf),
+            "moms": {
+                "p": moms.p,
+                "tol": moms.tol,
+                "background": moms.background,
+                "mean_density": moms.mean_density,
+                "mac": moms.mac,
+            },
+            "task": {
+                "periodic": periodic,
+                "ws": ws,
+                "xmax": xmax,
+                "softening": softening,
+                "kernel": kernel,
+                "G": G,
+                "dtype": np.dtype(dtype).str,
+                "want_potential": want_potential,
+                "rcut": rcut,
+            },
+        }
+        try:
+            shards = self._make_shards(tree)
+            for sid, sinks, s0, s1 in shards:
+                self._tasks.put((epoch, meta, sid, sinks, s0, s1))
+            shard_stats, shard_spans = self._collect(epoch, len(shards))
+
+            # deterministic merge: disjoint [s0, s1) slices already sit in
+            # the shared output; unsort + cast once, exactly like serial
+            acc_view = np.ndarray((n, 3), dtype=np.float64, buffer=segments_buf(segments, meta_segments, "acc_out"))
+            acc_sorted = np.array(acc_view)
+            acc = np.empty_like(acc_sorted)
+            acc[tree.order] = acc_sorted
+            pot = None
+            if want_potential:
+                pot_view = np.ndarray((n,), dtype=np.float64, buffer=segments_buf(segments, meta_segments, "pot_out"))
+                pot_sorted = np.array(pot_view)
+                pot = np.empty_like(pot_sorted)
+                pot[tree.order] = pot_sorted
+            if np.dtype(dtype) != np.dtype(np.float64):
+                acc = acc.astype(dtype)
+                if pot is not None:
+                    pot = pot.astype(dtype)
+        finally:
+            for shm in segments:
+                try:
+                    shm.close()
+                    shm.unlink()
+                except Exception:
+                    pass
+
+        stats = self._merge_stats(shard_stats, shard_spans, n, tr)
+        return ForceResult(acc=acc, pot=pot, stats=stats)
+
+    def _collect(self, epoch: int, n_shards: int):
+        """Wait for all shard results, watching for dead workers."""
+        shard_stats: dict[int, dict] = {}
+        shard_spans: dict[int, tuple[int, dict, float]] = {}
+        errors = []
+        while len(shard_stats) + len(errors) < n_shards:
+            try:
+                msg = self._results.get(timeout=1.0)
+            except _queue.Empty:
+                dead = [p.name for p in self._procs if not p.is_alive()]
+                if dead:
+                    raise RuntimeError(
+                        f"force worker(s) died: {', '.join(dead)}"
+                    ) from None
+                continue
+            kind, ep, sid, wid, payload, spans = msg
+            if ep != epoch:
+                continue  # stale result from an aborted call
+            if kind == "err":
+                errors.append((sid, payload))
+            else:
+                shard_stats[sid] = payload
+                shard_spans[sid] = (wid, spans, spans["timers"]["executor/shard"]["total_s"])
+        if errors:
+            sid, tb = errors[0]
+            raise RuntimeError(f"shard {sid} failed in worker pool:\n{tb}")
+        return shard_stats, shard_spans
+
+    def _merge_stats(self, shard_stats, shard_spans, n: int, tr) -> dict:
+        stats = {
+            "cell_interactions": 0,
+            "pp_interactions": 0,
+            "prism_interactions": 0,
+            "traversal_interactions": 0,
+            "order": 0,
+            "traversal_rounds": 0,
+        }
+        for s in shard_stats.values():
+            stats["cell_interactions"] += s.get("cell_interactions", 0)
+            stats["pp_interactions"] += s.get("pp_interactions", 0)
+            stats["prism_interactions"] += s.get("prism_interactions", 0)
+            stats["traversal_interactions"] += s.get("traversal_interactions", 0)
+            stats["order"] = s.get("order", stats["order"])
+            stats["traversal_rounds"] = max(
+                stats["traversal_rounds"], s.get("traversal_rounds", 0)
+            )
+        busy = np.zeros(self.workers)
+        shard_seconds = [0.0] * len(shard_spans)
+        traverse_s = evaluate_s = 0.0
+        metrics = getattr(tr, "metrics", None)
+        for sid, (wid, spans, shard_s) in shard_spans.items():
+            busy[wid] += shard_s
+            shard_seconds[sid] = shard_s
+            traverse_s += spans["timers"]["executor/traverse"]["total_s"]
+            evaluate_s += spans["timers"]["executor/evaluate"]["total_s"]
+            if metrics is not None:
+                metrics.merge_dict(spans)
+        mean_busy = float(busy.mean()) if self.workers else 0.0
+        stats["executor"] = {
+            "workers": self.workers,
+            "n_shards": len(shard_spans),
+            "shard_seconds": shard_seconds,
+            "worker_busy_s": busy.tolist(),
+            "load_imbalance": float(busy.max() / mean_busy - 1.0)
+            if mean_busy > 0
+            else 0.0,
+            "traverse_s": traverse_s,
+            "evaluate_s": evaluate_s,
+        }
+        if getattr(tr, "enabled", False):
+            tr.count_vec("executor.worker_busy_s", busy)
+        return stats
+
+    # ----- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and release every shared-memory segment."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            atexit.unregister(self.close)
+        except Exception:
+            pass
+        for _ in self._procs:
+            try:
+                self._tasks.put(None)
+            except Exception:
+                pass
+        for p in self._procs:
+            p.join(timeout=5.0)
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=1.0)
+        for q in (self._tasks, self._results):
+            try:
+                q.close()
+                q.join_thread()
+            except Exception:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def segments_buf(segments, meta_segments, name):
+    """The buffer of the published segment holding logical array ``name``."""
+    shm_name = meta_segments[name][0]
+    for shm in segments:
+        if shm.name == shm_name:
+            return shm.buf
+    raise KeyError(name)
+
+
+def ensure_executor(current: ForceExecutor | None, workers: int) -> ForceExecutor:
+    """Reuse ``current`` if it matches ``workers``, else replace it."""
+    if current is not None and not current.closed and current.workers == workers:
+        return current
+    if current is not None:
+        current.close()
+    return ForceExecutor(workers)

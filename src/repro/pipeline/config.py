@@ -42,6 +42,8 @@ class PipelineSpec:
     snapshots_z: tuple = (2.0, 1.0, 0.5, 0.0)
     analysis: tuple = ("power", "fof", "so_massfunction")
     git_tag: str = "untagged"
+    #: force-solve worker processes for the evolve stage (0 = serial)
+    workers: int = 0
 
     # ----- generated artifacts -------------------------------------------------
     def ic_config(self) -> dict:
@@ -73,6 +75,7 @@ class PipelineSpec:
             "snapshots_a": [1.0 / (1.0 + z) for z in self.snapshots_z],
             "snapshot_base": f"{self.name}_snap",
             "code_version": self.git_tag,
+            "workers": self.workers,
         }
 
     def analysis_config(self) -> dict:

@@ -10,6 +10,7 @@ shell scripts actually work end to end.
 from __future__ import annotations
 
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -22,7 +23,15 @@ __all__ = ["run_stage"]
 _STAGES = {}
 
 
-def run_stage(config_path, workdir=None, tracer=None) -> dict:
+def _default_workers() -> int:
+    """Force-solve worker count from the environment (0 = serial)."""
+    try:
+        return int(os.environ.get("REPRO_WORKERS", "0"))
+    except ValueError:
+        return 0
+
+
+def run_stage(config_path, workdir=None, tracer=None, workers=None) -> dict:
     """Run the stage described by a generated JSON config.
 
     Returns a small result summary dict (also printed).  Paths inside
@@ -30,10 +39,17 @@ def run_stage(config_path, workdir=None, tracer=None) -> dict:
     config file's directory).  Under an enabled tracer (passed here or
     installed process-wide) the stage runs inside a
     ``pipeline.<stage>`` span and the summary gains its wall time.
+    ``workers`` overrides the config's force-solve worker count
+    (``--workers`` on the CLI; the ``REPRO_WORKERS`` environment
+    variable is the default for configs that don't set one).
     """
     config_path = Path(config_path)
     cfg = json.loads(config_path.read_text())
     workdir = Path(workdir) if workdir else config_path.parent
+    if workers is not None:
+        cfg["workers"] = int(workers)
+    elif not cfg.get("workers"):
+        cfg["workers"] = _default_workers()
     stage = cfg.get("stage")
     fn = _STAGES.get(stage)
     if fn is None:
@@ -105,18 +121,19 @@ def _stage_evolve(cfg, workdir):
         softening=cfg.get("softening", "dehnen_k1"),
         max_refine=2,
         track_energy=False,
+        workers=int(cfg.get("workers") or 0),
     )
     written = []
-    sim = Simulation(sim_cfg, particles=ps)
-    for a_snap in snapshots:
-        sim.config = dataclasses.replace(sim.config, a_final=a_snap)
-        state = sim.run()
-        out = workdir / f"{cfg['snapshot_base']}_a{a_snap:.4f}.sdf"
-        save_checkpoint(
-            out, state, params=probe, box_mpc_h=md["box_mpc_h"],
-            git_tag=cfg.get("code_version"),
-        )
-        written.append(str(out))
+    with Simulation(sim_cfg, particles=ps) as sim:
+        for a_snap in snapshots:
+            sim.config = dataclasses.replace(sim.config, a_final=a_snap)
+            state = sim.run()
+            out = workdir / f"{cfg['snapshot_base']}_a{a_snap:.4f}.sdf"
+            save_checkpoint(
+                out, state, params=probe, box_mpc_h=md["box_mpc_h"],
+                git_tag=cfg.get("code_version"),
+            )
+            written.append(str(out))
     return {"stage": "evolve", "steps": len(sim.history), "snapshots": written}
 
 
@@ -157,6 +174,7 @@ _STAGES["analysis"] = _stage_analysis
 if __name__ == "__main__":
     argv = sys.argv[1:]
     trace_path = None
+    workers = None
     if "--trace" in argv:
         i = argv.index("--trace")
         try:
@@ -164,14 +182,28 @@ if __name__ == "__main__":
         except IndexError:
             trace_path = None
         del argv[i: i + 2]
-    if len(argv) != 1 or trace_path is None and "--trace" in sys.argv:
-        print("usage: python -m repro.pipeline.run_stage <config.json> [--trace out.jsonl]")
+    if "--workers" in argv:
+        i = argv.index("--workers")
+        try:
+            workers = int(argv[i + 1])
+        except (IndexError, ValueError):
+            workers = None
+        del argv[i: i + 2]
+    bad_flags = (
+        trace_path is None and "--trace" in sys.argv
+        or workers is None and "--workers" in sys.argv
+    )
+    if len(argv) != 1 or bad_flags:
+        print(
+            "usage: python -m repro.pipeline.run_stage <config.json>"
+            " [--trace out.jsonl] [--workers N]"
+        )
         raise SystemExit(2)
     if trace_path is not None:
         tr = Tracer(sink=trace_path)
         try:
-            run_stage(argv[0], tracer=tr)
+            run_stage(argv[0], tracer=tr, workers=workers)
         finally:
             tr.close()
     else:
-        run_stage(argv[0])
+        run_stage(argv[0], workers=workers)

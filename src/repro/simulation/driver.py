@@ -58,6 +58,9 @@ class SimulationConfig:
     eps_frac: float = 0.05
     ws: int = 1
     pm_grid: int = 0  # 0 -> 2 * n_per_dim for treepm
+    #: worker processes for the force traverse+evaluate stages
+    #: (0 = serial; see :class:`repro.parallel.executor.ForceExecutor`)
+    workers: int = 0
     # stepping
     dlna_max: float = 0.125
     dt_divider: int = 1  # 4 for the Fig. 7 dt/4 reference run
@@ -161,6 +164,7 @@ class Simulation:
                     eps=c.eps,
                     want_potential=c.track_energy,
                     dtype=np.float32,
+                    workers=c.workers,
                 )
             )
         elif c.engine == "treepm":
@@ -172,6 +176,7 @@ class Simulation:
                     nleaf=c.nleaf,
                     softening=c.softening if c.softening != "dehnen_k1" else "spline",
                     eps=c.eps,
+                    workers=c.workers,
                 )
             )
         else:
@@ -184,6 +189,24 @@ class Simulation:
         self.last_stats = res.stats
         self._last_pot = res.pot
         return res.acc
+
+    def close(self) -> None:
+        """Release the force engine's worker pool (serial runs: no-op).
+
+        The pool is *persistent* across steps — that is the point — so
+        it outlives :meth:`run`; call this (or use the simulation as a
+        context manager) when finished with the object.
+        """
+        closer = getattr(self._solver, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
 
     # ----- energy diagnostics -----------------------------------------------------
     def _energies(self, ps: ParticleSet, a: float):
