@@ -1,0 +1,64 @@
+"""In-situ health monitoring: physics diagnostics, anomaly detection,
+run provenance and baseline regression gates.
+
+The correctness counterpart of :mod:`repro.instrument` (which watches
+*performance*): monitors observe conserved quantities (Layzer-Irvine
+energy, total momentum), audit the MAC's absolute-error budget with a
+sampled direct/Ewald force probe, watch the machinery (tree shape,
+executor balance, interaction drift), guard against non-finite state
+(fail fast with a diagnostic snapshot), and stream classified
+``health`` events through the same JSONL sinks.  The default is
+:data:`NULL_HEALTH` — disabled monitoring costs nothing, mirroring the
+no-op tracer contract.  ``repro-diag`` (:mod:`repro.diagnose.cli`)
+renders trace timelines and gates runs against stored baselines;
+:mod:`repro.diagnose.manifest` pins run provenance.
+"""
+
+from .health import NULL_HEALTH, HealthConfig, HealthMonitor, NullHealth, make_health
+from .manifest import build_manifest, config_hash, load_manifest, write_manifest
+from .monitors import (
+    SEVERITIES,
+    HealthContext,
+    HealthError,
+    HealthEvent,
+    LayzerIrvineMonitor,
+    Monitor,
+    MomentumMonitor,
+    StateGuard,
+    classify,
+)
+from .probe import ForceErrorProbe, probe_force_error, reference_accelerations
+from .structural import (
+    ExecutorBalanceMonitor,
+    InteractionDriftMonitor,
+    TreeShapeMonitor,
+    tree_shape_stats,
+)
+
+__all__ = [
+    "SEVERITIES",
+    "NULL_HEALTH",
+    "ExecutorBalanceMonitor",
+    "ForceErrorProbe",
+    "HealthConfig",
+    "HealthContext",
+    "HealthError",
+    "HealthEvent",
+    "HealthMonitor",
+    "InteractionDriftMonitor",
+    "LayzerIrvineMonitor",
+    "Monitor",
+    "MomentumMonitor",
+    "NullHealth",
+    "StateGuard",
+    "TreeShapeMonitor",
+    "build_manifest",
+    "classify",
+    "config_hash",
+    "load_manifest",
+    "make_health",
+    "probe_force_error",
+    "reference_accelerations",
+    "tree_shape_stats",
+    "write_manifest",
+]

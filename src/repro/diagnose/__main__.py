@@ -1,0 +1,6 @@
+"""``python -m repro.diagnose`` == the ``repro-diag`` CLI."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,276 @@
+"""``repro-diag``: health timelines and baseline regression gates.
+
+Reads the JSONL trace a monitored run streamed (driver step records,
+``health`` events, ``run_totals``) and renders/judges it:
+
+* ``repro-diag report trace.jsonl`` — per-step health timeline plus
+  the run summary and stage totals;
+* ``repro-diag baseline trace.jsonl -o baseline.json`` — freeze the
+  run's health/perf summary into a gated baseline (each gate is the
+  measured value times a safety margin);
+* ``repro-diag check trace.jsonl --baseline baseline.json`` — compare
+  a new run against the stored gates, exit 2 on regression.  Raw
+  benchmark receipts (e.g. ``BENCH_parallel.json``) also work: any
+  numeric key matching a summary metric becomes a max-gate;
+* ``repro-diag gate trace.jsonl`` — exit 1 if the trace contains any
+  health event at (or above) the given severity; the CI tripwire.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..instrument.events import read_jsonl
+from ..instrument.report import _table, stage_breakdown_table
+from .monitors import SEVERITIES
+
+__all__ = ["summary_from_trace", "health_timeline", "compare_to_baseline", "main"]
+
+#: summary metrics worth gating, and the direction that is "worse"
+GATED_METRICS = (
+    "wall_s", "wall_per_step_s", "interactions_per_particle",
+    "li_drift_rel", "warn_events", "error_events",
+)
+#: raw-benchmark key -> summary metric (lets BENCH_*.json act as a baseline)
+BASELINE_ALIASES = {"serial_wall_s": "wall_s"}
+
+
+def summary_from_trace(records: list[dict]) -> dict:
+    """Health/perf summary of one run's JSONL trace."""
+    steps = [r for r in records if r.get("type") == "step"]
+    health = [r for r in records if r.get("type") == "health"]
+    totals = next((r for r in records if r.get("type") == "run_totals"), {})
+    summary: dict = {
+        "steps": len(steps),
+        "wall_s": float(totals.get("wall_s", sum(r.get("wall", 0.0) for r in steps))),
+        "interactions_per_particle": float(totals.get(
+            "interactions_per_particle",
+            sum(r.get("interactions_per_particle", 0.0) for r in steps),
+        )),
+    }
+    if steps:
+        walls = [float(r.get("wall", 0.0)) for r in steps]
+        summary["wall_per_step_s"] = sum(walls) / len(walls)
+        summary["wall_step_max_s"] = max(walls)
+        li = [float(r.get("layzer_irvine", 0.0)) for r in steps]
+        scale = max(
+            max(abs(float(r.get("kinetic", 0.0))) for r in steps),
+            max(abs(float(r.get("potential", 0.0))) for r in steps),
+            1e-30,
+        )
+        summary["li_drift_rel"] = max(abs(x - li[0]) for x in li) / scale
+    for sev in SEVERITIES:
+        summary[f"{sev}_events"] = sum(1 for r in health if r.get("severity") == sev)
+    by_monitor: dict[str, float] = {}
+    for r in health:
+        v = r.get("value")
+        if isinstance(v, (int, float)):
+            name = r.get("monitor", "?")
+            by_monitor[name] = max(by_monitor.get(name, 0.0), float(v))
+    for name, v in sorted(by_monitor.items()):
+        summary[f"health_{name}_max"] = v
+    return summary
+
+
+def stage_totals_from_trace(records: list[dict]) -> dict[str, float]:
+    """Sum per-stage force seconds over every step (and the init force)."""
+    totals: dict[str, float] = {}
+    for r in records:
+        if r.get("type") in ("step", "init_force"):
+            for name, sec in (r.get("stage_seconds") or {}).items():
+                totals[name] = totals.get(name, 0.0) + float(sec)
+    return totals
+
+
+def health_timeline(records: list[dict]) -> str:
+    """One row per streamed health event, in trace order."""
+    rows = []
+    for r in records:
+        if r.get("type") != "health":
+            continue
+        rows.append((
+            r.get("step", "-"),
+            round(float(r.get("a", 0.0)), 4),
+            r.get("monitor", "?"),
+            r.get("severity", "?").upper(),
+            "-" if r.get("value") is None else f"{float(r['value']):.3e}",
+            r.get("message", "")[:72],
+        ))
+    if not rows:
+        return "=== Health timeline ===\n(no health events in trace)"
+    return _table(
+        "Health timeline",
+        ["step", "a", "monitor", "severity", "value", "message"],
+        rows,
+    )
+
+
+def _load_gates(baseline: dict, margin: float) -> dict[str, dict]:
+    """Gates from a baseline file (native format or raw benchmark JSON)."""
+    if "gates" in baseline:
+        return {k: dict(v) for k, v in baseline["gates"].items()}
+    gates = {}
+    for key, value in baseline.items():
+        metric = BASELINE_ALIASES.get(key, key)
+        if metric in GATED_METRICS and isinstance(value, (int, float)):
+            gates[metric] = {"max": float(value) * margin}
+    return gates
+
+
+def compare_to_baseline(summary: dict, baseline: dict, margin: float = 1.0):
+    """Judge a summary against baseline gates.
+
+    Returns ``(failures, rows)`` where rows tabulate every gate and
+    failures lists the metrics that regressed past their bound.
+    """
+    gates = _load_gates(baseline, margin)
+    rows, failures = [], []
+    for metric, rule in sorted(gates.items()):
+        measured = summary.get(metric)
+        if measured is None:
+            rows.append((metric, "-", _bound_str(rule), "SKIP (not measured)"))
+            continue
+        ok = True
+        if "max" in rule and float(measured) > float(rule["max"]):
+            ok = False
+        if "min" in rule and float(measured) < float(rule["min"]):
+            ok = False
+        rows.append((metric, f"{float(measured):.6g}", _bound_str(rule),
+                     "ok" if ok else "FAIL"))
+        if not ok:
+            failures.append(metric)
+    return failures, rows
+
+
+def _bound_str(rule: dict) -> str:
+    parts = []
+    if "min" in rule:
+        parts.append(f">= {float(rule['min']):.6g}")
+    if "max" in rule:
+        parts.append(f"<= {float(rule['max']):.6g}")
+    return ", ".join(parts) or "(no bound)"
+
+
+def make_baseline(summary: dict, margin: float = 1.5) -> dict:
+    """Freeze a summary into a gated baseline with a safety margin."""
+    gates: dict[str, dict] = {}
+    for metric in GATED_METRICS:
+        v = summary.get(metric)
+        if not isinstance(v, (int, float)):
+            continue
+        if metric == "error_events":
+            gates[metric] = {"max": 0.0}
+        elif metric == "warn_events":
+            gates[metric] = {"max": max(float(v) * margin, 2.0)}
+        else:
+            # floor keeps near-zero measurements from gating on noise
+            gates[metric] = {"max": max(float(v) * margin, 1e-12)}
+    return {
+        "type": "health_baseline",
+        "margin": margin,
+        "summary": {k: v for k, v in summary.items()
+                    if isinstance(v, (int, float))},
+        "gates": gates,
+    }
+
+
+# ----- subcommands -----------------------------------------------------------------
+def _cmd_report(args) -> int:
+    records = read_jsonl(args.trace)
+    summary = summary_from_trace(records)
+    print(health_timeline(records))
+    print()
+    rows = [(k, f"{v:.6g}" if isinstance(v, float) else v)
+            for k, v in summary.items()]
+    print(_table("Run health/perf summary", ["metric", "value"], rows))
+    stages = stage_totals_from_trace(records)
+    if stages:
+        print()
+        print(stage_breakdown_table(stages, title="Force stage totals"))
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    summary = summary_from_trace(read_jsonl(args.trace))
+    baseline = make_baseline(summary, margin=args.margin)
+    Path(args.output).write_text(json.dumps(baseline, indent=1, sort_keys=True))
+    print(f"wrote {len(baseline['gates'])} gates to {args.output}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    summary = summary_from_trace(read_jsonl(args.trace))
+    baseline = json.loads(Path(args.baseline).read_text())
+    failures, rows = compare_to_baseline(summary, baseline, margin=args.margin)
+    print(_table(f"Baseline check vs {args.baseline}",
+                 ["metric", "measured", "bound", "status"], rows))
+    if failures:
+        print(f"\nREGRESSION: {', '.join(failures)}", file=sys.stderr)
+        return 2
+    print("\nall gates passed")
+    return 0
+
+
+def _cmd_gate(args) -> int:
+    records = read_jsonl(args.trace)
+    threshold = SEVERITIES.index(args.severity)
+    tripped = [
+        r for r in records
+        if r.get("type") == "health"
+        and r.get("severity") in SEVERITIES
+        and SEVERITIES.index(r["severity"]) >= threshold
+    ]
+    print(health_timeline(records))
+    if tripped:
+        print(
+            f"\nGATE FAILED: {len(tripped)} event(s) at severity"
+            f" >= {args.severity}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\ngate passed: no events at severity >= {args.severity}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro-diag",
+        description="Render and gate health traces from monitored runs.",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("report", help="health timeline + run summary")
+    p.add_argument("trace", help="JSONL trace from a monitored run")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("baseline", help="freeze a run summary into gates")
+    p.add_argument("trace")
+    p.add_argument("-o", "--output", required=True, help="baseline JSON path")
+    p.add_argument("--margin", type=float, default=1.5,
+                   help="gate = measured x margin (default 1.5)")
+    p.set_defaults(func=_cmd_baseline)
+
+    p = sub.add_parser("check", help="compare a run against stored gates")
+    p.add_argument("trace")
+    p.add_argument("--baseline", required=True, help="baseline (or BENCH_*.json)")
+    p.add_argument("--margin", type=float, default=1.0,
+                   help="extra factor applied to raw-benchmark baselines")
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("gate", help="fail on health events at a severity")
+    p.add_argument("trace")
+    p.add_argument("--severity", choices=SEVERITIES, default="error")
+    p.set_defaults(func=_cmd_gate)
+    return ap
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

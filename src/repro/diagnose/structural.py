@@ -1,0 +1,166 @@
+"""Structural monitors: tree shape, executor balance, interaction drift.
+
+Valdarnini 2003 makes the case that treecode pathologies — degenerate
+tree shapes, load imbalance, interaction-count blowups — have to be
+measured continuously, not discovered post-mortem.  These monitors
+watch the *mechanism* rather than the physics: the tree the solver
+just built, the worker-pool balance of the last force call, and the
+step-over-step interaction count the MAC produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .monitors import HealthContext, HealthEvent, Monitor, classify
+
+__all__ = [
+    "tree_shape_stats",
+    "TreeShapeMonitor",
+    "ExecutorBalanceMonitor",
+    "InteractionDriftMonitor",
+]
+
+
+def tree_shape_stats(tree) -> dict:
+    """Leaf occupancy and depth distribution of one built tree.
+
+    Cheap (a few NumPy passes over the cell arrays); the returned dict
+    is JSON-ready and doubles as the monitor's raw observation.
+    """
+    leaves = tree.leaf_indices
+    counts = tree.cell_count[leaves]
+    levels = tree.cell_level[leaves]
+    ghosts = int(np.count_nonzero(tree.cell_is_ghost))
+    lvl, nlvl = np.unique(tree.cell_level, return_counts=True)
+    return {
+        "n_cells": int(tree.n_cells),
+        "n_leaves": int(len(leaves)),
+        "n_ghosts": ghosts,
+        "max_level": int(tree.cell_level.max()),
+        "leaf_occupancy_mean": float(counts.mean()) if len(counts) else 0.0,
+        "leaf_occupancy_max": int(counts.max()) if len(counts) else 0,
+        "leaf_level_mean": float(levels.mean()) if len(levels) else 0.0,
+        "cells_per_level": {int(k): int(v) for k, v in zip(lvl, nlvl)},
+    }
+
+
+class TreeShapeMonitor(Monitor):
+    """Warn on degenerate trees: overfull leaves or runaway depth.
+
+    A real leaf holding more than ``occupancy_factor * nleaf`` bodies
+    means the build hit its depth cap on coincident/clustered points
+    (the split rule otherwise guarantees <= nleaf), and depth past
+    ``depth_warn`` makes traversals pathological.
+    """
+
+    name = "tree_shape"
+
+    def __init__(self, occupancy_factor: float = 4.0, depth_warn: int = 21):
+        self.occupancy_factor = float(occupancy_factor)
+        self.depth_warn = int(depth_warn)
+        self.last: dict = {}
+
+    def check(self, ctx: HealthContext) -> list[HealthEvent]:
+        tree = getattr(getattr(ctx.sim, "_solver", None), "last_tree", None)
+        if tree is None:
+            return []
+        stats = tree_shape_stats(tree)
+        self.last = stats
+        events = []
+        cap = self.occupancy_factor * tree.nleaf
+        if stats["leaf_occupancy_max"] > cap:
+            events.append(self._event(
+                ctx, "warn",
+                f"leaf holds {stats['leaf_occupancy_max']} bodies "
+                f"(> {self.occupancy_factor:g} x nleaf={tree.nleaf}: depth-capped split)",
+                value=stats["leaf_occupancy_max"], threshold=cap,
+            ))
+        if stats["max_level"] > self.depth_warn:
+            events.append(self._event(
+                ctx, "warn",
+                f"tree depth {stats['max_level']} exceeds {self.depth_warn}",
+                value=stats["max_level"], threshold=self.depth_warn,
+            ))
+        return events
+
+    def summary(self) -> dict:
+        return dict(self.last)
+
+
+class ExecutorBalanceMonitor(Monitor):
+    """Shard load imbalance of the worker pool (``stats["executor"]``).
+
+    The executor reports ``max(busy)/mean(busy) - 1`` per force call;
+    sustained imbalance means the particle-count-balanced shards no
+    longer track traversal cost (deep clustering) and the shard
+    granularity should rise.
+    """
+
+    name = "executor_balance"
+
+    def __init__(self, warn: float = 0.5, error: float = 2.0):
+        self.warn = float(warn)
+        self.error = float(error)
+        self.max_imbalance = 0.0
+
+    def check(self, ctx: HealthContext) -> list[HealthEvent]:
+        ex = getattr(ctx.sim, "last_stats", {}).get("executor")
+        if not ex:
+            return []
+        imb = float(ex.get("load_imbalance", 0.0))
+        self.max_imbalance = max(self.max_imbalance, imb)
+        sev = classify(imb, self.warn, self.error)
+        if sev == "info":
+            return [self._event(
+                ctx, "info", f"executor load imbalance {imb:.3f}",
+                value=imb, threshold=self.warn,
+            )]
+        return [self._event(
+            ctx, sev,
+            f"executor load imbalance {imb:.3f} across "
+            f"{ex.get('workers', '?')} workers",
+            value=imb, threshold=self.warn,
+        )]
+
+    def summary(self) -> dict:
+        return {"max_imbalance": self.max_imbalance, "warn": self.warn}
+
+
+class InteractionDriftMonitor(Monitor):
+    """Step-over-step drift of the interactions-per-particle count.
+
+    The MAC keeps this near-constant for a smoothly evolving box
+    (~2000 at errtol 1e-5, §7); a sudden jump means the tree or the
+    acceptance criterion went pathological (collapsed cells, broken
+    bounds), usually steps before anything shows in the energies.
+    """
+
+    name = "interaction_drift"
+
+    def __init__(self, jump_factor: float = 3.0):
+        self.jump_factor = float(jump_factor)
+        self._prev: float | None = None
+        self.max_ratio = 1.0
+
+    def check(self, ctx: HealthContext) -> list[HealthEvent]:
+        rec = ctx.record
+        ipp = float(getattr(rec, "interactions_per_particle", 0.0) or 0.0) if rec else 0.0
+        if ipp <= 0.0:
+            return []
+        events = []
+        if self._prev is not None and self._prev > 0:
+            ratio = max(ipp / self._prev, self._prev / ipp)
+            self.max_ratio = max(self.max_ratio, ratio)
+            if ratio > self.jump_factor:
+                events.append(self._event(
+                    ctx, "warn",
+                    f"interactions/particle jumped x{ratio:.2f} "
+                    f"({self._prev:.0f} -> {ipp:.0f})",
+                    value=ratio, threshold=self.jump_factor,
+                ))
+        self._prev = ipp
+        return events
+
+    def summary(self) -> dict:
+        return {"max_ratio": self.max_ratio, "jump_factor": self.jump_factor}

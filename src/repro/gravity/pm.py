@@ -177,6 +177,8 @@ class TreePMConfig:
     G: float = 1.0
     #: worker processes for the short-range tree half (0 = serial)
     workers: int = 0
+    #: fail fast on non-finite accelerations/potentials (health guard)
+    check_finite: bool = False
 
 
 class TreePMGravity:
@@ -185,6 +187,7 @@ class TreePMGravity:
     def __init__(self, config: TreePMConfig | None = None):
         self.config = config or TreePMConfig()
         self.last_stats: dict = {}
+        self.last_tree = None
         self._executor = None
 
     def close(self) -> None:
@@ -233,6 +236,7 @@ class TreePMGravity:
                         G=cfg.G,
                         kernel=ErfcKernel(1.0 / (2.0 * r_split)),
                         rcut=cfg.rcut * r_split,
+                        check_finite=cfg.check_finite,
                         tracer=tr,
                     )
             else:
@@ -262,6 +266,12 @@ class TreePMGravity:
             res.stats["interactions_per_particle"] = res.stats.get(
                 "traversal_interactions", 0
             ) / max(tree.n_particles, 1)
+        res.stats["errtol"] = cfg.errtol
+        if cfg.check_finite:
+            from .solver import raise_if_nonfinite
+
+            raise_if_nonfinite(res, "treepm")
+        self.last_tree = tree
         if tr.enabled:
             from ..instrument.crosscheck import flops_from_stats
 

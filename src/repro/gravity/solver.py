@@ -18,7 +18,27 @@ from .periodic import PeriodicLocalExpansion
 from .smoothing import SofteningKernel, make_softening
 from .treeforce import ForceResult, evaluate_forces
 
-__all__ = ["TreecodeConfig", "TreecodeGravity"]
+__all__ = ["TreecodeConfig", "TreecodeGravity", "raise_if_nonfinite"]
+
+
+def raise_if_nonfinite(result: ForceResult, label: str) -> None:
+    """Fail fast on non-finite solver output (the solver-level guard).
+
+    Raises :class:`FloatingPointError` naming the arrays (and, for
+    sharded runs, the worker shards via ``stats["health"]``) so the
+    corruption is attributed at the source instead of surfacing steps
+    later as an exploded integration.
+    """
+    bad = []
+    if not np.isfinite(result.acc).all():
+        bad.append(f"acc: {int(np.count_nonzero(~np.isfinite(result.acc)))} non-finite")
+    if result.pot is not None and not np.isfinite(result.pot).all():
+        bad.append(f"pot: {int(np.count_nonzero(~np.isfinite(result.pot)))} non-finite")
+    shards = result.stats.get("health", {}).get("bad_shards")
+    if shards:
+        bad.append(f"worker shards: {shards}")
+    if bad:
+        raise FloatingPointError(f"{label}: non-finite force output ({'; '.join(bad)})")
 
 
 @dataclass
@@ -54,6 +74,9 @@ class TreecodeConfig:
     #: and is bit-identical to serial; ``workers>1`` shards the sink
     #: leaves (see :class:`repro.parallel.executor.ForceExecutor`).
     workers: int = 0
+    #: fail fast on non-finite accelerations/potentials (health guard);
+    #: sharded runs report which worker shard produced them
+    check_finite: bool = False
 
 
 class TreecodeGravity:
@@ -154,6 +177,7 @@ class TreecodeGravity:
                         G=cfg.G,
                         dtype=cfg.dtype,
                         want_potential=cfg.want_potential,
+                        check_finite=cfg.check_finite,
                         tracer=tr,
                     )
             else:
@@ -191,6 +215,10 @@ class TreecodeGravity:
                 "traversal_interactions", 0
             ) / max(tree.n_particles, 1)
         result.stats["n_cells"] = tree.n_cells
+        result.stats["errtol"] = cfg.errtol
+        result.stats["mac"] = cfg.mac
+        if cfg.check_finite:
+            raise_if_nonfinite(result, "treecode")
         if tr.enabled:
             from ..instrument.crosscheck import flops_from_stats
 

@@ -74,12 +74,16 @@ def stage_breakdown_table(
     total: float | None = None,
     title: str = "Stage breakdown",
     labels: dict[str, str] | None = None,
+    extra_rows: list[tuple] | None = None,
 ) -> str:
     """A Table-2-style breakdown: stage, seconds, fraction of total.
 
     ``total`` defaults to the sum of the stages; when a measured total
     is given and exceeds the stage sum, the residual appears as an
     "(unattributed)" row so the fractions always close to 1.
+    ``extra_rows`` are informational ``(label, seconds)`` rows — e.g.
+    the paper's "Load Imbalance" — appended before the total but *not*
+    added to it (they overlap stages already counted).
     """
     labels = labels or {}
     stage_sum = sum(stage_seconds.values())
@@ -92,6 +96,8 @@ def stage_breakdown_table(
     if total is not None and total > stage_sum:
         rows.append(("(unattributed)", round(total - stage_sum, 6),
                      round((total - stage_sum) / t, 3)))
+    for label, sec in extra_rows or []:
+        rows.append((label, round(sec, 6), round(sec / t, 3)))
     rows.append(("Total", round(t, 6), 1.0))
     return _table(title, ["stage", "seconds", "fraction"], rows)
 
@@ -100,7 +106,10 @@ def force_stage_table(stats: dict, title: str = "Force stage breakdown (Table 2 
     """Render a solver's ``ForceResult.stats`` stage breakdown.
 
     Expects the ``stage_seconds`` / ``force_seconds`` entries written by
-    :meth:`TreecodeGravity.compute` under an enabled tracer.
+    :meth:`TreecodeGravity.compute` under an enabled tracer.  Sharded
+    runs (``stats["executor"]`` present) gain the paper's "Load
+    Imbalance" row: wall time the slowest worker spent beyond the mean,
+    i.e. time the pool's tail added to the execute stage.
     """
     stage = stats.get("stage_seconds")
     if not stage:
@@ -108,11 +117,18 @@ def force_stage_table(stats: dict, title: str = "Force stage breakdown (Table 2 
             "stats carries no stage_seconds — run compute() with tracing "
             "enabled (set_tracer(Tracer()) or pass tracer=)"
         )
+    extra = None
+    ex = stats.get("executor")
+    if ex and ex.get("worker_busy_s"):
+        busy = ex["worker_busy_s"]
+        mean = sum(busy) / len(busy)
+        extra = [(f"Load Imbalance ({ex['load_imbalance']:.1%})", max(busy) - mean)]
     return stage_breakdown_table(
         stage,
         total=stats.get("force_seconds"),
         title=title,
         labels=FORCE_STAGE_LABELS,
+        extra_rows=extra,
     )
 
 

@@ -213,6 +213,12 @@ def _run_shard(state: _WorkerState, sinks, s0: int, s1: int):
     if state.pot is not None and res.pot is not None:
         state.pot[s0:s1] = res.pot
     stats = dict(res.stats)
+    if task.get("check_finite"):
+        # per-worker health: count non-finite outputs where they were
+        # produced, so the parent can attribute corruption to a shard
+        stats["nonfinite_acc"] = int(np.count_nonzero(~np.isfinite(res.acc)))
+        if res.pot is not None:
+            stats["nonfinite_acc"] += int(np.count_nonzero(~np.isfinite(res.pot)))
     stats["traversal_rounds"] = inter.rounds
     # the serial solver reports interactions/particle from the traversal
     # lists (which exclude the near-field background prism corrections
@@ -350,6 +356,7 @@ class ForceExecutor:
         want_potential: bool = True,
         rcut: float | None = None,
         xmax: float = 0.6,
+        check_finite: bool = False,
         tracer=None,
     ):
         """Traverse + evaluate all sink leaves across the pool.
@@ -397,6 +404,7 @@ class ForceExecutor:
                 "dtype": np.dtype(dtype).str,
                 "want_potential": want_potential,
                 "rcut": rcut,
+                "check_finite": check_finite,
             },
         }
         try:
@@ -478,6 +486,13 @@ class ForceExecutor:
             stats["traversal_rounds"] = max(
                 stats["traversal_rounds"], s.get("traversal_rounds", 0)
             )
+        if any("nonfinite_acc" in s for s in shard_stats.values()):
+            bad = {sid: s["nonfinite_acc"] for sid, s in shard_stats.items()
+                   if s.get("nonfinite_acc")}
+            stats["health"] = {
+                "nonfinite_acc": sum(bad.values()),
+                "bad_shards": bad,
+            }
         busy = np.zeros(self.workers)
         shard_seconds = [0.0] * len(shard_spans)
         traverse_s = evaluate_s = 0.0

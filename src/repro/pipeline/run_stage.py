@@ -9,16 +9,16 @@ shell scripts actually work end to end.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
-import sys
 from pathlib import Path
 
 import numpy as np
 
 from ..instrument import Tracer, get_tracer, use_tracer
 
-__all__ = ["run_stage"]
+__all__ = ["run_stage", "main"]
 
 _STAGES = {}
 
@@ -31,7 +31,12 @@ def _default_workers() -> int:
         return 0
 
 
-def run_stage(config_path, workdir=None, tracer=None, workers=None) -> dict:
+def _default_health() -> bool:
+    """Health monitoring from the environment (off unless REPRO_HEALTH)."""
+    return os.environ.get("REPRO_HEALTH", "").strip().lower() in ("1", "true", "on", "yes")
+
+
+def run_stage(config_path, workdir=None, tracer=None, workers=None, health=None) -> dict:
     """Run the stage described by a generated JSON config.
 
     Returns a small result summary dict (also printed).  Paths inside
@@ -42,6 +47,10 @@ def run_stage(config_path, workdir=None, tracer=None, workers=None) -> dict:
     ``workers`` overrides the config's force-solve worker count
     (``--workers`` on the CLI; the ``REPRO_WORKERS`` environment
     variable is the default for configs that don't set one).
+    ``health`` turns on in-situ health monitoring for the evolve stage
+    (``--health`` / ``REPRO_HEALTH``): classified health events stream
+    to the tracer's sink, a run-provenance manifest is written next to
+    the stage config, and the summary gains the event counts.
     """
     config_path = Path(config_path)
     cfg = json.loads(config_path.read_text())
@@ -50,6 +59,9 @@ def run_stage(config_path, workdir=None, tracer=None, workers=None) -> dict:
         cfg["workers"] = int(workers)
     elif not cfg.get("workers"):
         cfg["workers"] = _default_workers()
+    if health is None:
+        health = bool(cfg.get("health")) or _default_health()
+    cfg["health"] = bool(health)
     stage = cfg.get("stage")
     fn = _STAGES.get(stage)
     if fn is None:
@@ -57,7 +69,18 @@ def run_stage(config_path, workdir=None, tracer=None, workers=None) -> dict:
     tr = tracer if tracer is not None else get_tracer()
     # install for the duration so the driver/solver underneath see it too
     with use_tracer(tr), tr.span(f"pipeline.{stage}") as sp:
+        if cfg["health"]:
+            from ..diagnose import write_manifest
+
+            manifest_path = workdir / f"{config_path.stem}.manifest.json"
+            write_manifest(
+                manifest_path, config=cfg,
+                seeds={"seed": cfg.get("seed")},
+                extra={"stage_config": str(config_path)},
+            )
         summary = fn(cfg, workdir)
+        if cfg["health"]:
+            summary["manifest"] = str(manifest_path)
     if tr.enabled:
         summary["wall_s"] = round(sp.seconds, 6)
         tr.count(f"pipeline.{stage}.runs")
@@ -104,6 +127,12 @@ def _stage_evolve(cfg, workdir):
     from ..io import load_checkpoint, save_checkpoint
     from ..simulation import Simulation, SimulationConfig
 
+    health_cfg = None
+    if cfg.get("health"):
+        from ..diagnose import HealthConfig
+
+        # diagnostic snapshots belong with the run's other artifacts
+        health_cfg = HealthConfig(snapshot_dir=str(workdir))
     ps, md = load_checkpoint(workdir / cfg["input"])
     probe = CosmologyParams(
         omega_m=md["omega_m"], omega_b=md["omega_b"], omega_de=md["omega_de"],
@@ -120,8 +149,11 @@ def _stage_evolve(cfg, workdir):
         p=cfg.get("p_order", 4),
         softening=cfg.get("softening", "dehnen_k1"),
         max_refine=2,
-        track_energy=False,
+        # the Layzer-Irvine monitor needs potentials; only pay for them
+        # when health monitoring is on
+        track_energy=bool(cfg.get("health")),
         workers=int(cfg.get("workers") or 0),
+        health=health_cfg,
     )
     written = []
     with Simulation(sim_cfg, particles=ps) as sim:
@@ -134,7 +166,10 @@ def _stage_evolve(cfg, workdir):
                 git_tag=cfg.get("code_version"),
             )
             written.append(str(out))
-    return {"stage": "evolve", "steps": len(sim.history), "snapshots": written}
+    summary = {"stage": "evolve", "steps": len(sim.history), "snapshots": written}
+    if cfg.get("health"):
+        summary["health"] = sim.run_totals.get("health", {}).get("events", {})
+    return summary
 
 
 _STAGES["evolve"] = _stage_evolve
@@ -171,39 +206,36 @@ def _stage_analysis(cfg, workdir):
 _STAGES["analysis"] = _stage_analysis
 
 
-if __name__ == "__main__":
-    argv = sys.argv[1:]
-    trace_path = None
-    workers = None
-    if "--trace" in argv:
-        i = argv.index("--trace")
-        try:
-            trace_path = argv[i + 1]
-        except IndexError:
-            trace_path = None
-        del argv[i: i + 2]
-    if "--workers" in argv:
-        i = argv.index("--workers")
-        try:
-            workers = int(argv[i + 1])
-        except (IndexError, ValueError):
-            workers = None
-        del argv[i: i + 2]
-    bad_flags = (
-        trace_path is None and "--trace" in sys.argv
-        or workers is None and "--workers" in sys.argv
+def main(argv=None) -> int:
+    """CLI entry point: ``python -m repro.pipeline.run_stage cfg.json``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pipeline.run_stage",
+        description="Run one generated pipeline stage config.",
     )
-    if len(argv) != 1 or bad_flags:
-        print(
-            "usage: python -m repro.pipeline.run_stage <config.json>"
-            " [--trace out.jsonl] [--workers N]"
-        )
-        raise SystemExit(2)
-    if trace_path is not None:
-        tr = Tracer(sink=trace_path)
+    parser.add_argument("config", help="stage JSON written by repro.pipeline.config")
+    parser.add_argument(
+        "--trace", metavar="OUT.JSONL", default=None,
+        help="stream structured trace/health events to this JSONL file",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="force-solve worker processes (default: config or REPRO_WORKERS)",
+    )
+    parser.add_argument(
+        "--health", action="store_true", default=None,
+        help="enable in-situ health monitoring (default: REPRO_HEALTH env)",
+    )
+    args = parser.parse_args(argv)
+    if args.trace is not None:
+        tr = Tracer(sink=args.trace)
         try:
-            run_stage(argv[0], tracer=tr, workers=workers)
+            run_stage(args.config, tracer=tr, workers=args.workers, health=args.health)
         finally:
             tr.close()
     else:
-        run_stage(argv[0], workers=workers)
+        run_stage(args.config, workers=args.workers, health=args.health)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,13 @@ Diagnostics recorded every step:
 * interaction counts per particle (the paper's efficiency metric:
   ~2000 interactions/particle at errtol 1e-5, §7),
 * wall-clock per stage (domain/tree/traversal/force split as Table 2).
+
+On top of those records sits optional in-situ health monitoring
+(:mod:`repro.diagnose`): pass ``health=`` (a
+:class:`~repro.diagnose.HealthConfig` or monitor) or set
+``SimulationConfig.health`` to watch energy/momentum budgets, probe
+the realized force error, and fail fast on non-finite state.  The
+default is a no-op that costs one attribute test per step.
 """
 
 from __future__ import annotations
@@ -69,6 +76,9 @@ class SimulationConfig:
     max_refine: int = 4
     #: compute potentials / Layzer-Irvine energies (adds ~20% force cost)
     track_energy: bool = True
+    #: in-situ health monitoring: a :class:`repro.diagnose.HealthConfig`
+    #: (or True for defaults); None = disabled, zero per-step cost
+    health: object = None
 
     @property
     def eps(self) -> float:
@@ -120,9 +130,13 @@ class Simulation:
         config: SimulationConfig,
         particles: ParticleSet | None = None,
         tracer=None,
+        health=None,
     ):
+        from ..diagnose import make_health
+
         self.config = config
         self.tracer = tracer
+        self.health = make_health(health if health is not None else config.health)
         c = config
         if particles is None:
             ic = ICConfig(
@@ -151,6 +165,12 @@ class Simulation:
     # ----- forces ---------------------------------------------------------------
     def _setup_engine(self) -> None:
         c = self.config
+        # solver-level fail-fast guard rides with the health guard, so
+        # sharded runs attribute non-finite output to the worker shard
+        check_finite = bool(
+            self.health.enabled
+            and getattr(getattr(self.health, "config", None), "guard", False)
+        )
         if c.engine == "tree":
             self._solver = TreecodeGravity(
                 TreecodeConfig(
@@ -165,6 +185,7 @@ class Simulation:
                     want_potential=c.track_energy,
                     dtype=np.float32,
                     workers=c.workers,
+                    check_finite=check_finite,
                 )
             )
         elif c.engine == "treepm":
@@ -177,6 +198,7 @@ class Simulation:
                     softening=c.softening if c.softening != "dehnen_k1" else "spline",
                     eps=c.eps,
                     workers=c.workers,
+                    check_finite=check_finite,
                 )
             )
         else:
@@ -258,62 +280,82 @@ class Simulation:
             if sink is not None:
                 sink.emit(record)
 
-        t_run0 = time.perf_counter()
-        with tr.span("init_force"):
-            acc = self._force(ps)
-        init_wall = time.perf_counter() - t_run0
-        init_ipp = self.last_stats.get("interactions_per_particle", 0.0)
-        self.integrator.n_force_calls += 1
-        emit(
-            {
-                "type": "init_force",
-                "a": ps.a,
-                "wall": init_wall,
-                "interactions_per_particle": init_ipp,
-                "stage_seconds": self.last_stats.get("stage_seconds", {}),
-            }
-        )
-        steps = 0
-        first_step = len(self.history)
-        while ps.a < c.a_final * (1 - 1e-12) and steps < max_steps:
-            t0 = time.perf_counter()
-            with tr.span("step"):
-                if c.adaptive:
-                    dlna = self.controller.choose(c.cosmology, ps, acc, ps.a)
-                else:
-                    dlna = self.controller.dlna_max
-                a_next = min(ps.a * np.exp(dlna), c.a_final)
-                acc = self.integrator.step_kdk(ps, a_next, acc0=acc)
-                t, w = self._energies(ps, ps.a)
-                li = self._update_layzer_irvine(ps.a, t, w)
-            rec = StepRecord(
-                a=ps.a,
-                dlna=dlna,
-                wall=time.perf_counter() - t0,
-                interactions_per_particle=self.last_stats.get(
-                    "interactions_per_particle", 0.0
-                ),
-                layzer_irvine=li,
-                kinetic=t,
-                potential=w,
-                stage_seconds=self.last_stats.get("stage_seconds", {}),
+        def health_check(events) -> None:
+            """Stream health events, then honor a fail-fast verdict."""
+            for ev in events:
+                emit(ev.to_record())
+            fatal = self.health.fatal
+            if fatal is not None:
+                emit({"type": "health_fatal", "message": str(fatal),
+                      "snapshot": fatal.snapshot})
+                raise fatal
+
+        try:
+            t_run0 = time.perf_counter()
+            with tr.span("init_force"):
+                acc = self._force(ps)
+            init_wall = time.perf_counter() - t_run0
+            init_ipp = self.last_stats.get("interactions_per_particle", 0.0)
+            self.integrator.n_force_calls += 1
+            emit(
+                {
+                    "type": "init_force",
+                    "a": ps.a,
+                    "wall": init_wall,
+                    "interactions_per_particle": init_ipp,
+                    "stage_seconds": self.last_stats.get("stage_seconds", {}),
+                }
             )
-            self.history.append(rec)
-            emit(rec.to_record(len(self.history)))
-            if callback is not None:
-                callback(self, rec)
-            steps += 1
-        new = self.history[first_step:]
-        self.run_totals = {
-            "wall_s": time.perf_counter() - t_run0,
-            "steps": steps,
-            "init_force_wall_s": init_wall,
-            "init_interactions_per_particle": init_ipp,
-            "step_wall_s": float(sum(r.wall for r in new)),
-            "interactions_per_particle": init_ipp
-            + float(sum(r.interactions_per_particle for r in new)),
-        }
-        emit({"type": "run_totals", **self.run_totals})
-        if sink is not None:
-            sink.close() if own_sink else sink.flush()
+            if self.health.enabled:
+                health_check(self.health.on_init(self, acc))
+            steps = 0
+            first_step = len(self.history)
+            while ps.a < c.a_final * (1 - 1e-12) and steps < max_steps:
+                t0 = time.perf_counter()
+                with tr.span("step"):
+                    if c.adaptive:
+                        dlna = self.controller.choose(c.cosmology, ps, acc, ps.a)
+                    else:
+                        dlna = self.controller.dlna_max
+                    a_next = min(ps.a * np.exp(dlna), c.a_final)
+                    acc = self.integrator.step_kdk(ps, a_next, acc0=acc)
+                    t, w = self._energies(ps, ps.a)
+                    li = self._update_layzer_irvine(ps.a, t, w)
+                rec = StepRecord(
+                    a=ps.a,
+                    dlna=dlna,
+                    wall=time.perf_counter() - t0,
+                    interactions_per_particle=self.last_stats.get(
+                        "interactions_per_particle", 0.0
+                    ),
+                    layzer_irvine=li,
+                    kinetic=t,
+                    potential=w,
+                    stage_seconds=self.last_stats.get("stage_seconds", {}),
+                )
+                self.history.append(rec)
+                emit(rec.to_record(len(self.history)))
+                if callback is not None:
+                    callback(self, rec)
+                # after the callback: monitors see the state that will
+                # enter the next step, callback mutations included
+                if self.health.enabled:
+                    health_check(self.health.on_step(self, rec, acc))
+                steps += 1
+            new = self.history[first_step:]
+            self.run_totals = {
+                "wall_s": time.perf_counter() - t_run0,
+                "steps": steps,
+                "init_force_wall_s": init_wall,
+                "init_interactions_per_particle": init_ipp,
+                "step_wall_s": float(sum(r.wall for r in new)),
+                "interactions_per_particle": init_ipp
+                + float(sum(r.interactions_per_particle for r in new)),
+            }
+            if self.health.enabled:
+                self.run_totals["health"] = self.health.summary()
+            emit({"type": "run_totals", **self.run_totals})
+        finally:
+            if sink is not None:
+                sink.close() if own_sink else sink.flush()
         return ps

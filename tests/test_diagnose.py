@@ -1,0 +1,323 @@
+"""Tests for the in-situ health monitoring subsystem (repro.diagnose).
+
+Covers the acceptance criteria of the observability PR: Layzer-Irvine
+drift within tolerance on a real run, momentum conservation, the
+sampled force-error probe staying within the MAC budget, fail-fast NaN
+detection with a diagnostic snapshot, manifest round-trips, and the
+repro-diag baseline check/gate exit codes.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.diagnose import (
+    HealthConfig,
+    HealthError,
+    HealthEvent,
+    HealthMonitor,
+    NULL_HEALTH,
+    build_manifest,
+    classify,
+    config_hash,
+    load_manifest,
+    make_health,
+    probe_force_error,
+    reference_accelerations,
+    write_manifest,
+)
+from repro.diagnose.cli import (
+    compare_to_baseline,
+    main as diag_main,
+    make_baseline,
+    summary_from_trace,
+)
+from repro.simulation import Simulation, SimulationConfig
+
+
+def short_config(**kw):
+    base = dict(
+        n_per_dim=8,
+        box_mpc_h=50.0,
+        a_init=0.1,
+        a_final=0.14,
+        errtol=1e-3,
+        p=2,
+        seed=2,
+        max_refine=1,
+        track_energy=True,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def monitored_run(tmp_path_factory):
+    """One short monitored periodic run, shared by the physics tests."""
+    tmp = tmp_path_factory.mktemp("health")
+    cfg = short_config(
+        health=HealthConfig(
+            probe_interval=2, probe_samples=4, snapshot_dir=str(tmp)
+        )
+    )
+    trace = tmp / "trace.jsonl"
+    with Simulation(cfg) as sim:
+        sim.run(jsonl=str(trace))
+        summary = sim.run_totals["health"]
+    return {"summary": summary, "trace": trace, "tmp": tmp}
+
+
+class TestNullContract:
+    def test_disabled_by_default(self):
+        sim = Simulation(short_config())
+        assert sim.health is NULL_HEALTH
+        assert not sim.health.enabled
+        sim.close()
+
+    def test_make_health_dispatch(self):
+        assert make_health(None) is NULL_HEALTH
+        assert make_health(False) is NULL_HEALTH
+        assert isinstance(make_health(True), HealthMonitor)
+        assert isinstance(make_health(HealthConfig()), HealthMonitor)
+        assert make_health(HealthConfig(enabled=False)) is NULL_HEALTH
+        hm = HealthMonitor(HealthConfig())
+        assert make_health(hm) is hm
+        with pytest.raises(TypeError):
+            make_health(42)
+
+    def test_null_health_is_inert(self):
+        assert NULL_HEALTH.on_init(None, None) == ()
+        assert NULL_HEALTH.on_step(None, None, None) == ()
+        assert NULL_HEALTH.fatal is None
+        assert NULL_HEALTH.summary() == {}
+
+    def test_disabled_run_has_no_health_totals(self):
+        with Simulation(short_config(a_final=0.12)) as sim:
+            sim.run()
+        assert "health" not in sim.run_totals
+
+
+class TestPhysicsMonitors:
+    def test_layzer_irvine_drift_within_tolerance(self, monitored_run):
+        li = monitored_run["summary"]["monitors"]["layzer_irvine"]
+        # a well-behaved short run drifts far below the 5% warn level
+        assert li["max_drift"] < 0.01
+
+    def test_momentum_conserved(self, monitored_run):
+        mom = monitored_run["summary"]["monitors"]["momentum"]
+        assert mom["max_drift"] < 1e-3
+        assert mom["max_com_drift"] < 1e-3
+
+    def test_no_warnings_on_healthy_run(self, monitored_run):
+        ev = monitored_run["summary"]["events"]
+        assert ev["warn"] == 0
+        assert ev["error"] == 0
+
+    def test_probe_error_within_mac_budget(self, monitored_run):
+        fe = monitored_run["summary"]["monitors"]["force_error"]
+        assert fe["probes"] >= 1
+        assert fe["max_abs_err"] <= fe["last"]["mac_budget"]
+
+    def test_momentum_monitor_flags_injected_drift(self, monitored_run):
+        from repro.diagnose.monitors import HealthContext, MomentumMonitor
+
+        cfg = short_config()
+        with Simulation(cfg) as sim:
+            mon = MomentumMonitor(warn=1e-6, error=1e-3)
+            ctx = HealthContext(sim=sim, step=0)
+            assert list(mon.start(ctx)) == []
+            sim.particles.mom[:, 0] += 0.1  # uniform kick: pure momentum error
+            events = list(mon.check(HealthContext(sim=sim, step=1)))
+        assert events and all(isinstance(e, HealthEvent) for e in events)
+        assert any(e.monitor == "momentum" and e.severity == "error" for e in events)
+
+
+class TestProbeReference:
+    def test_open_boundary_reference_matches_direct(self):
+        """Non-periodic reference = direct summation, trivially exact."""
+        from repro.gravity.direct import direct_accelerations
+        from repro.gravity.smoothing import make_softening
+
+        rng = np.random.default_rng(7)
+        pos = rng.random((64, 3))
+        mass = np.full(64, 1.0 / 64)
+        kern = make_softening("dehnen_k1", 0.05)
+        idx = np.array([0, 13, 63])
+        ref = reference_accelerations(pos, mass, idx, softening=kern, periodic=False)
+        expect = direct_accelerations(pos, mass, softening=kern, targets=pos[idx])
+        np.testing.assert_allclose(ref, expect, rtol=1e-12)
+
+    def test_probe_on_solver(self):
+        """The standalone probe grades treecode output against errtol."""
+        cfg = short_config()
+        with Simulation(cfg) as sim:
+            acc = sim._force(sim.particles)
+            res = probe_force_error(sim, acc, n_samples=4, rng=np.random.default_rng(3))
+        assert res["periodic"] is True
+        assert res["mac_budget"] == cfg.errtol
+        assert res["max_abs_err"] <= res["mac_budget"]
+
+
+class TestFailFast:
+    def test_nan_momentum_raises_with_snapshot(self, tmp_path):
+        cfg = short_config(
+            a_final=0.2, track_energy=False,
+            health=HealthConfig(snapshot_dir=str(tmp_path)),
+        )
+
+        def poison(sim, rec):
+            sim.particles.mom[0, 0] = np.nan
+
+        with Simulation(cfg) as sim:
+            with pytest.raises(HealthError, match="non-finite state"):
+                sim.run(callback=poison, jsonl=str(tmp_path / "t.jsonl"))
+        snaps = list(tmp_path.glob("health_snapshot_step*.npz"))
+        assert len(snaps) == 1
+        data = np.load(snaps[0])
+        assert np.isnan(data["mom"][0, 0])
+        # the trace keeps the fatal record even though the run raised
+        recs = [json.loads(l) for l in (tmp_path / "t.jsonl").open()]
+        assert any(r["type"] == "health_fatal" for r in recs)
+
+    def test_solver_guard_rejects_nonfinite_input(self):
+        """check_finite rides with the health guard down to the solver."""
+        from repro.gravity.solver import raise_if_nonfinite
+        from repro.gravity.treeforce import ForceResult
+
+        acc = np.zeros((4, 3))
+        acc[2, 1] = np.inf
+        res = ForceResult(acc=acc, pot=None, stats={})
+        with pytest.raises(FloatingPointError, match="non-finite force output"):
+            raise_if_nonfinite(res, "treecode")
+        raise_if_nonfinite(ForceResult(acc=np.zeros((4, 3)), pot=None, stats={}), "ok")
+
+    def test_classify(self):
+        assert classify(0.1, warn=1.0, error=10.0) == "info"
+        assert classify(2.0, warn=1.0, error=10.0) == "warn"
+        assert classify(20.0, warn=1.0, error=10.0) == "error"
+        assert classify(np.nan, warn=1.0, error=10.0) == "error"
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        cfg = short_config()
+        path = tmp_path / "m.json"
+        written = write_manifest(path, config=cfg, seeds={"ic": cfg.seed})
+        loaded = load_manifest(path)
+        assert loaded == written
+        assert loaded["type"] == "manifest"
+        assert loaded["seeds"] == {"ic": 2}
+        assert loaded["packages"]["numpy"] == np.__version__
+        assert loaded["config_sha256"] == config_hash(cfg)
+
+    def test_config_hash_is_stable_and_sensitive(self):
+        a = short_config()
+        b = short_config()
+        c = short_config(errtol=1e-4)
+        assert config_hash(a) == config_hash(b)
+        assert config_hash(a) != config_hash(c)
+        assert config_hash({"y": 1, "x": 2}) == config_hash({"x": 2, "y": 1})
+
+    def test_manifest_handles_odd_values(self):
+        m = build_manifest(config={"dtype": np.float32, "arr": np.arange(3)})
+        json.dumps(m)  # everything must be JSON-serializable
+
+
+class TestBaselineCli:
+    def test_report_and_gate_pass_on_healthy_trace(self, monitored_run, capsys):
+        trace = str(monitored_run["trace"])
+        assert diag_main(["report", trace]) == 0
+        assert diag_main(["gate", trace]) == 0
+        out = capsys.readouterr().out
+        assert "Run health/perf summary" in out
+
+    def test_check_passes_against_own_baseline(self, monitored_run, tmp_path):
+        trace = str(monitored_run["trace"])
+        base = tmp_path / "base.json"
+        assert diag_main(["baseline", trace, "-o", str(base)]) == 0
+        assert diag_main(["check", trace, "--baseline", str(base)]) == 0
+
+    def test_check_fails_on_regression(self, monitored_run, tmp_path):
+        trace = str(monitored_run["trace"])
+        summary = summary_from_trace(
+            [json.loads(l) for l in monitored_run["trace"].open()]
+        )
+        tight = make_baseline(summary, margin=1.5)
+        # regress the baseline: demand a tenth of the measured wall time
+        tight["gates"]["wall_s"]["max"] = summary["wall_s"] / 10.0
+        base = tmp_path / "tight.json"
+        base.write_text(json.dumps(tight))
+        assert diag_main(["check", trace, "--baseline", str(base)]) == 2
+
+    def test_check_reads_raw_benchmark_baseline(self, monitored_run, tmp_path):
+        """Stored benchmark JSONs (serial_wall_s etc.) work via aliases."""
+        base = tmp_path / "bench.json"
+        base.write_text(json.dumps({"serial_wall_s": 1e9}))
+        assert diag_main(["check", str(monitored_run["trace"]),
+                          "--baseline", str(base)]) == 0
+        base.write_text(json.dumps({"serial_wall_s": 1e-9}))
+        assert diag_main(["check", str(monitored_run["trace"]),
+                          "--baseline", str(base)]) == 2
+
+    def test_gate_fails_on_error_events(self, tmp_path):
+        trace = tmp_path / "bad.jsonl"
+        with trace.open("w") as f:
+            f.write(json.dumps({"type": "step", "step": 1, "a": 0.1, "wall": 0.1,
+                                "interactions_per_particle": 10.0}) + "\n")
+            f.write(json.dumps({"type": "health", "monitor": "momentum",
+                                "severity": "error", "value": 1.0,
+                                "threshold": 0.05, "step": 1, "a": 0.1,
+                                "message": "momentum drift 1.0"}) + "\n")
+        assert diag_main(["gate", str(trace)]) == 1
+        assert diag_main(["gate", str(trace), "--severity", "warn"]) == 1
+
+    def test_compare_rows_shape(self, monitored_run):
+        summary = summary_from_trace(
+            [json.loads(l) for l in monitored_run["trace"].open()]
+        )
+        failures, rows = compare_to_baseline(summary, make_baseline(summary))
+        assert failures == []
+        assert all(len(r) == 4 for r in rows)
+
+
+class TestPipelineHealth:
+    def test_run_stage_health_flag(self, tmp_path):
+        from repro.instrument import Tracer
+        from repro.pipeline import PipelineSpec
+        from repro.pipeline.run_stage import run_stage
+
+        spec = PipelineSpec(
+            name="tiny", n_per_dim=6, box_mpc_h=30.0, z_init=9.0, z_final=7.0,
+            errtol=1e-3, p_order=2, snapshots_z=(7.0,), analysis=("power",),
+        )
+        spec.write(tmp_path)
+        run_stage(tmp_path / "tiny_ic.json")
+        trace = tmp_path / "trace.jsonl"
+        tr = Tracer(sink=str(trace))
+        try:
+            ev = run_stage(tmp_path / "tiny_evolve.json", tracer=tr, health=True)
+        finally:
+            tr.close()
+        assert ev["health"]["error"] == 0
+        manifest = load_manifest(ev["manifest"])
+        assert manifest["config"]["stage"] == "evolve"
+        recs = [json.loads(l) for l in trace.open()]
+        assert any(r["type"] == "step" for r in recs)
+        # the gate passes on the healthy pipeline trace
+        assert diag_main(["gate", str(trace)]) == 0
+
+    def test_run_stage_argparse_cli(self, tmp_path, capsys):
+        from repro.pipeline import PipelineSpec
+        from repro.pipeline.run_stage import main as stage_main
+
+        spec = PipelineSpec(
+            name="t2", n_per_dim=6, box_mpc_h=30.0, z_init=9.0, z_final=8.0,
+            errtol=1e-3, p_order=2, snapshots_z=(8.0,), analysis=(),
+        )
+        spec.write(tmp_path)
+        assert stage_main([str(tmp_path / "t2_ic.json")]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out.strip().splitlines()[-1])["particles"] == 6**3
+        with pytest.raises(SystemExit):
+            stage_main(["--no-such-flag"])
