@@ -31,6 +31,7 @@ from .probe import ForceErrorProbe, probe_force_error, reference_accelerations
 from .structural import (
     ExecutorBalanceMonitor,
     InteractionDriftMonitor,
+    RecoveryMonitor,
     TreeShapeMonitor,
     tree_shape_stats,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "Monitor",
     "MomentumMonitor",
     "NullHealth",
+    "RecoveryMonitor",
     "StateGuard",
     "TreeShapeMonitor",
     "build_manifest",

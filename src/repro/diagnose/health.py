@@ -26,6 +26,7 @@ from .probe import ForceErrorProbe
 from .structural import (
     ExecutorBalanceMonitor,
     InteractionDriftMonitor,
+    RecoveryMonitor,
     TreeShapeMonitor,
 )
 
@@ -120,6 +121,7 @@ class HealthMonitor:
             self.monitors.append(InteractionDriftMonitor(
                 jump_factor=c.interaction_jump_warn,
             ))
+            self.monitors.append(RecoveryMonitor())
         self.events_seen = {"info": 0, "warn": 0, "error": 0}
         self.fatal: HealthError | None = None
         self._steps = 0

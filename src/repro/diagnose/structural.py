@@ -19,6 +19,7 @@ __all__ = [
     "TreeShapeMonitor",
     "ExecutorBalanceMonitor",
     "InteractionDriftMonitor",
+    "RecoveryMonitor",
 ]
 
 
@@ -125,6 +126,63 @@ class ExecutorBalanceMonitor(Monitor):
 
     def summary(self) -> dict:
         return {"max_imbalance": self.max_imbalance, "warn": self.warn}
+
+
+class RecoveryMonitor(Monitor):
+    """Worker-pool self-healing activity (``stats["executor"]``).
+
+    The executor recovers from worker deaths, shard errors and pool
+    hangs transparently — the force result is unchanged — but each
+    recovery costs wall clock and signals trouble (a flaky node, an
+    OOM-prone worker).  Surface every recovery as a warn event, and
+    escalate to error when the pool gives up and degrades to serial.
+    """
+
+    name = "executor_recovery"
+
+    def __init__(self):
+        self.total = 0
+        self.by_kind: dict[str, int] = {}
+        self.degraded = False
+
+    def start(self, ctx: HealthContext) -> list[HealthEvent]:
+        # the init force call can already need a recovery
+        return self.check(ctx)
+
+    def check(self, ctx: HealthContext) -> list[HealthEvent]:
+        # read the executor's cumulative log, not the per-call stats: a
+        # solver may run the pool several times per force evaluation
+        ex = getattr(getattr(ctx.sim, "_solver", None), "_executor", None)
+        if ex is None:
+            return []
+        events = []
+        recoveries = list(getattr(ex, "recoveries", ()))
+        for r in recoveries[self.total:]:
+            kind = r.get("kind", "unknown")
+            self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+            detail = {k: v for k, v in r.items() if k != "kind"}
+            events.append(self._event(
+                ctx, "warn",
+                f"executor recovery: {kind} {detail}" if detail
+                else f"executor recovery: {kind}",
+                value=len(events) + self.total + 1,
+            ))
+        self.total = len(recoveries)
+        if getattr(ex, "degraded", False) and not self.degraded:
+            self.degraded = True
+            events.append(self._event(
+                ctx, "error",
+                "worker pool unrecoverable: degraded to serial execution",
+                value=self.total,
+            ))
+        return events
+
+    def summary(self) -> dict:
+        return {
+            "recoveries": self.total,
+            "by_kind": dict(self.by_kind),
+            "degraded": self.degraded,
+        }
 
 
 class InteractionDriftMonitor(Monitor):

@@ -1,6 +1,22 @@
 """SDF self-describing files and leapfrog-preserving checkpoints."""
 
-from .checkpoint import load_checkpoint, save_checkpoint
-from .sdf import SDFFile, read_sdf, write_sdf
+from .checkpoint import (
+    CheckpointConfigMismatch,
+    load_checkpoint,
+    save_checkpoint,
+    sim_config_metadata,
+    verify_sim_config,
+)
+from .sdf import SDFChecksumError, SDFFile, read_sdf, write_sdf
 
-__all__ = ["SDFFile", "load_checkpoint", "read_sdf", "save_checkpoint", "write_sdf"]
+__all__ = [
+    "CheckpointConfigMismatch",
+    "SDFChecksumError",
+    "SDFFile",
+    "load_checkpoint",
+    "read_sdf",
+    "save_checkpoint",
+    "sim_config_metadata",
+    "verify_sim_config",
+    "write_sdf",
+]

@@ -6,9 +6,21 @@ degrading to a 1st-order initial step.  A checkpoint here is one SDF
 file whose metadata records both epochs (a for positions, a_mom for
 momenta) plus the cosmology and box, and whose body holds the particle
 arrays.
+
+Restart safety (GADGET-2 treats restart-file correctness as a
+first-class contract; Springel 2005 §5.4): ``sim_config=`` records the
+*full* :class:`~repro.simulation.driver.SimulationConfig` — engine,
+errtol, expansion order, seed, softening, worker count, stepping knobs
+— as ``simcfg_*`` metadata, and :func:`load_checkpoint` verifies those
+entries against the resuming configuration, raising
+:class:`CheckpointConfigMismatch` so a restart can never silently
+change the physics.  Durable writes (atomic replace + per-column
+checksums) are the default; see :mod:`repro.io.sdf`.
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 import numpy as np
 
@@ -16,7 +28,77 @@ from ..cosmology import CosmologyParams
 from ..simulation.particles import ParticleSet
 from .sdf import read_sdf, write_sdf
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "CheckpointConfigMismatch",
+    "save_checkpoint",
+    "load_checkpoint",
+    "sim_config_metadata",
+    "verify_sim_config",
+]
+
+#: SimulationConfig fields excluded from ``simcfg_*`` metadata: the
+#: cosmology is stored through ``params=`` (flat, self-describing), and
+#: live objects / operational checkpoint knobs are not restart physics.
+_SIMCFG_SKIP = frozenset({"cosmology", "health"})
+
+#: fields whose mismatch is *not* an error on load: they steer when and
+#: where checkpoints are written, never what is computed.
+_SIMCFG_OPERATIONAL = frozenset({
+    "checkpoint_dir", "checkpoint_every_steps", "checkpoint_interval_s",
+    "checkpoint_mtbf_h", "checkpoint_keep",
+})
+
+
+class CheckpointConfigMismatch(ValueError):
+    """The resuming configuration disagrees with the checkpoint's."""
+
+
+def sim_config_metadata(config) -> dict:
+    """Flatten a SimulationConfig into ``simcfg_*`` metadata entries."""
+    md = {}
+    for f in dataclasses.fields(config):
+        if f.name in _SIMCFG_SKIP:
+            continue
+        v = getattr(config, f.name)
+        if v is None:
+            continue
+        md[f"simcfg_{f.name}"] = v
+    return md
+
+
+def _coerce(stored, reference):
+    """Parse a metadata value back to the type of the config field."""
+    if reference is None:
+        return stored
+    if isinstance(reference, bool):
+        return bool(int(stored)) if not isinstance(stored, str) else stored == "True"
+    return type(reference)(stored)
+
+
+def verify_sim_config(metadata: dict, config, ignore=()) -> None:
+    """Raise :class:`CheckpointConfigMismatch` if ``config`` disagrees
+    with the ``simcfg_*`` entries stored in ``metadata``.
+
+    Operational checkpoint-scheduling fields are always exempt; pass
+    ``ignore=("workers", ...)`` to permit further deliberate overrides.
+    """
+    ignore = set(ignore) | _SIMCFG_OPERATIONAL
+    fields = {f.name: f for f in dataclasses.fields(config)}
+    mismatches = []
+    for key, stored in metadata.items():
+        if not key.startswith("simcfg_"):
+            continue
+        name = key[len("simcfg_"):]
+        if name in ignore or name not in fields:
+            continue
+        current = getattr(config, name)
+        if _coerce(stored, current) != current:
+            mismatches.append(f"{name}: checkpoint={stored!r} != run={current!r}")
+    if mismatches:
+        raise CheckpointConfigMismatch(
+            "resuming configuration would change physics vs checkpoint: "
+            + "; ".join(mismatches)
+        )
 
 
 def save_checkpoint(
@@ -26,8 +108,15 @@ def save_checkpoint(
     box_mpc_h: float | None = None,
     git_tag: str | None = None,
     extra_metadata: dict | None = None,
+    sim_config=None,
+    durable: bool = True,
 ) -> None:
-    """Write a restartable snapshot, preserving any leapfrog offset."""
+    """Write a restartable snapshot, preserving any leapfrog offset.
+
+    ``sim_config`` records the full simulation configuration (verified
+    on load); ``durable`` (default) writes atomically with per-column
+    checksums so a torn or bit-flipped file is detected at restart.
+    """
     md = {
         "a": particles.a,
         "a_mom": particles.a_mom,
@@ -40,6 +129,8 @@ def save_checkpoint(
             h=params.h,
             sigma8=params.sigma8,
             n_s=params.n_s,
+            t_cmb=params.t_cmb,
+            n_eff=params.n_eff,
             w0=params.w0,
             wa=params.wa,
             include_radiation=params.include_radiation,
@@ -47,6 +138,8 @@ def save_checkpoint(
         )
     if box_mpc_h is not None:
         md["box_mpc_h"] = box_mpc_h
+    if sim_config is not None:
+        md.update(sim_config_metadata(sim_config))
     md.update(extra_metadata or {})
     write_sdf(
         path,
@@ -58,12 +151,20 @@ def save_checkpoint(
         },
         metadata=md,
         git_tag=git_tag,
+        checksums=durable,
+        atomic=durable,
     )
 
 
-def load_checkpoint(path):
-    """Read a checkpoint; returns (ParticleSet, metadata dict)."""
-    sdf = read_sdf(path)
+def load_checkpoint(path, expect_config=None, verify: bool = True):
+    """Read a checkpoint; returns (ParticleSet, metadata dict).
+
+    Column checksums (when recorded) are always re-verified unless
+    ``verify=False``.  With ``expect_config`` the stored ``simcfg_*``
+    entries are checked against it and a physics-relevant disagreement
+    raises :class:`CheckpointConfigMismatch`.
+    """
+    sdf = read_sdf(path, verify=verify)
     cols = sdf.columns
     pos = np.stack([cols["pos_x"], cols["pos_y"], cols["pos_z"]], axis=1)
     mom = np.stack([cols["mom_x"], cols["mom_y"], cols["mom_z"]], axis=1)
@@ -75,4 +176,6 @@ def load_checkpoint(path):
         a=float(sdf.metadata["a"]),
         a_mom=float(sdf.metadata["a_mom"]),
     )
+    if expect_config is not None:
+        verify_sim_config(sdf.metadata, expect_config)
     return ps, sdf.metadata

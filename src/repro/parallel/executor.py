@@ -29,6 +29,20 @@ Per-shard wall times come back through the result queue and merge into
 the parent :class:`~repro.instrument.metrics.Metrics`, turning the
 modeled load imbalance of :mod:`repro.parallel.ptraverse` into a
 measured one.
+
+**Self-healing** (paper §3.4.2: production runs lose a node about every
+million CPU hours — the pool must degrade, not die): the collector
+detects dead workers (respawned; the missing shards are re-dispatched
+— writes are deterministic and slice-disjoint, so duplicate execution
+is idempotent), worker-side exceptions (the failed shard alone is
+retried with bounded attempts and backoff), and hung workers (no
+progress for ``shard_timeout`` seconds restarts the pool).  When the
+respawn/retry budget is exhausted the remaining shards are computed
+serially in the parent — the force result is always produced, bit for
+bit the same, and every recovery is recorded in
+``stats["executor"]["recoveries"]`` and emitted through the tracer.
+Deterministic fault injection for all of these paths comes from
+:class:`repro.resilience.faults.FaultPlan` (``REPRO_FAULTS``).
 """
 
 from __future__ import annotations
@@ -245,15 +259,33 @@ def _run_shard(state: _WorkerState, sinks, s0: int, s1: int):
 
 
 def _worker_main(worker_id: int, tasks, results) -> None:
-    """Persistent worker loop: pull shards until the ``None`` sentinel."""
+    """Persistent worker loop: pull shards until the ``None`` sentinel.
+
+    An injected :class:`~repro.resilience.faults.FaultPlan` (spec string
+    carried in the task metadata, so it survives spawn) fires before the
+    shard runs: ``kill`` exits the process, ``raise`` surfaces as an
+    ``err`` result, ``delay`` stalls past the parent's timeout.  Faults
+    never fire on re-dispatches (``attempt > 0``), so recovery always
+    converges.
+    """
     state = _WorkerState()
+    plan = None
+    plan_spec = None
     while True:
         msg = tasks.get()
         if msg is None:
             state.release()
             return
-        epoch, meta, shard_id, sinks, s0, s1 = msg
+        epoch, meta, shard_id, sinks, s0, s1, attempt = msg
         try:
+            spec = meta["task"].get("faults")
+            if spec != plan_spec:
+                from ..resilience.faults import FaultPlan
+
+                plan = FaultPlan.parse(spec) if spec else None
+                plan_spec = spec
+            if plan is not None:
+                plan.apply_worker(worker_id, shard_id, epoch, attempt=attempt)
             if epoch != state.epoch:
                 state.load(epoch, meta)
             stats, spans = _run_shard(state, sinks, s0, s1)
@@ -280,6 +312,20 @@ class ForceExecutor:
     shards_per_worker:
         Queue granularity for dynamic load balancing: the sink leaves
         are cut into up to ``workers * shards_per_worker`` shards.
+    shard_timeout:
+        Seconds without *any* shard result before the pool is declared
+        hung and restarted (default: ``REPRO_SHARD_TIMEOUT`` env, else
+        disabled — dead workers are still detected immediately).
+    max_retries:
+        Bounded re-dispatches per shard: worker-side exceptions beyond
+        this raise; death/hang re-dispatches beyond this fall back to
+        computing the shard serially in the parent.
+    max_respawns:
+        Worker respawn budget per force call; once exhausted the pool
+        is unrecoverable and the call degrades to serial execution.
+    faults:
+        ``REPRO_FAULTS``-style spec string for deterministic fault
+        injection (default: the environment variable).
     """
 
     def __init__(
@@ -287,6 +333,11 @@ class ForceExecutor:
         workers: int,
         start_method: str | None = None,
         shards_per_worker: int = 4,
+        shard_timeout: float | None = None,
+        max_retries: int = 2,
+        max_respawns: int = 4,
+        retry_backoff_s: float = 0.05,
+        faults: str | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -294,23 +345,37 @@ class ForceExecutor:
         self._ctx = mp.get_context(method)
         self.workers = int(workers)
         self.shards_per_worker = int(shards_per_worker)
+        if shard_timeout is None:
+            env = os.environ.get("REPRO_SHARD_TIMEOUT", "").strip()
+            shard_timeout = float(env) if env else None
+        self.shard_timeout = shard_timeout
+        self.max_retries = int(max_retries)
+        self.max_respawns = int(max_respawns)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self._fault_spec = (
+            faults if faults is not None else os.environ.get("REPRO_FAULTS", "")
+        ) or None
         self.closed = False
+        #: the pool proved unrecoverable; all further work runs serially
+        self.degraded = False
+        #: every recovery action taken over the executor's lifetime
+        self.recoveries: list[dict] = []
         self._epoch = 0
         self._tag = f"{os.getpid():x}{secrets.token_hex(2)}"
         self._tasks = self._ctx.Queue()
         self._results = self._ctx.Queue()
-        self._procs = [
-            self._ctx.Process(
-                target=_worker_main,
-                args=(i, self._tasks, self._results),
-                daemon=True,
-                name=f"repro-force-{i}",
-            )
-            for i in range(self.workers)
-        ]
-        for p in self._procs:
-            p.start()
+        self._procs = [self._spawn(i) for i in range(self.workers)]
         atexit.register(self.close)
+
+    def _spawn(self, worker_id: int):
+        p = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self._tasks, self._results),
+            daemon=True,
+            name=f"repro-force-{worker_id}",
+        )
+        p.start()
+        return p
 
     # ----- sharding -----------------------------------------------------------
     def _make_shards(self, tree):
@@ -405,23 +470,41 @@ class ForceExecutor:
                 "want_potential": want_potential,
                 "rcut": rcut,
                 "check_finite": check_finite,
+                "faults": self._fault_spec,
             },
         }
         try:
             shards = self._make_shards(tree)
-            for sid, sinks, s0, s1 in shards:
-                self._tasks.put((epoch, meta, sid, sinks, s0, s1))
-            shard_stats, shard_spans = self._collect(epoch, len(shards))
+            # parent-side views of the shared output: the merge source,
+            # and the serial-fallback write target
+            acc_view = np.ndarray(
+                (n, 3), dtype=np.float64,
+                buffer=segments_buf(segments, meta_segments, "acc_out"),
+            )
+            pot_view = None
+            if want_potential:
+                pot_view = np.ndarray(
+                    (n,), dtype=np.float64,
+                    buffer=segments_buf(segments, meta_segments, "pot_out"),
+                )
+            fallback = {
+                "tree": tree, "moms": moms, "task": meta["task"],
+                "acc": acc_view, "pot": pot_view,
+            }
+            if not self.degraded:
+                for sid, sinks, s0, s1 in shards:
+                    self._tasks.put((epoch, meta, sid, sinks, s0, s1, 0))
+            shard_stats, shard_spans, recoveries = self._collect(
+                epoch, meta, shards, fallback
+            )
 
             # deterministic merge: disjoint [s0, s1) slices already sit in
             # the shared output; unsort + cast once, exactly like serial
-            acc_view = np.ndarray((n, 3), dtype=np.float64, buffer=segments_buf(segments, meta_segments, "acc_out"))
             acc_sorted = np.array(acc_view)
             acc = np.empty_like(acc_sorted)
             acc[tree.order] = acc_sorted
             pot = None
             if want_potential:
-                pot_view = np.ndarray((n,), dtype=np.float64, buffer=segments_buf(segments, meta_segments, "pot_out"))
                 pot_sorted = np.array(pot_view)
                 pot = np.empty_like(pot_sorted)
                 pot[tree.order] = pot_sorted
@@ -430,45 +513,181 @@ class ForceExecutor:
                 if pot is not None:
                     pot = pot.astype(dtype)
         finally:
+            # drop our buffer exports before releasing the segments, and
+            # unlink before close so /dev/shm is cleaned even if a live
+            # export keeps the local mapping pinned
+            acc_view = pot_view = fallback = None
             for shm in segments:
                 try:
-                    shm.close()
                     shm.unlink()
                 except Exception:
                     pass
+                try:
+                    shm.close()
+                except Exception:
+                    pass
 
-        stats = self._merge_stats(shard_stats, shard_spans, n, tr)
+        stats = self._merge_stats(shard_stats, shard_spans, n, tr, recoveries)
         return ForceResult(acc=acc, pot=pot, stats=stats)
 
-    def _collect(self, epoch: int, n_shards: int):
-        """Wait for all shard results, watching for dead workers."""
+    def _run_local(self, fallback: dict, sinks, s0: int, s1: int):
+        """Run one shard serially in the parent (graceful degradation)."""
+        state = _WorkerState()
+        state.tree = fallback["tree"]
+        state.moms = fallback["moms"]
+        state.task = fallback["task"]
+        state.acc = fallback["acc"]
+        state.pot = fallback["pot"]
+        return _run_shard(state, sinks, s0, s1)
+
+    def _collect(self, epoch: int, meta: dict, shards, fallback: dict):
+        """Wait for all shard results, healing dead/hung workers.
+
+        Recovery protocol, in escalating order:
+
+        * worker-reported exception -> re-dispatch only that shard
+          (bounded by ``max_retries``, linear backoff); beyond the
+          budget the error is deterministic and raises;
+        * dead worker -> respawn it and re-dispatch every unfinished
+          shard (duplicate completions are deduped; the deterministic,
+          slice-disjoint writes make double execution idempotent); a
+          shard past its re-dispatch budget is computed serially;
+        * no progress for ``shard_timeout`` seconds -> restart the
+          whole pool and re-dispatch;
+        * respawn budget exhausted -> the pool is unrecoverable: mark
+          the executor degraded and finish every pending shard
+          serially in the parent.
+
+        Returns ``(shard_stats, shard_spans, recoveries)``.
+        """
+        pending = {sid: (sinks, s0, s1) for sid, sinks, s0, s1 in shards}
+        attempts = dict.fromkeys(pending, 0)
+        err_count = dict.fromkeys(pending, 0)
         shard_stats: dict[int, dict] = {}
         shard_spans: dict[int, tuple[int, dict, float]] = {}
-        errors = []
-        while len(shard_stats) + len(errors) < n_shards:
+        recoveries: list[dict] = []
+        respawns = 0
+        last_progress = time.monotonic()
+
+        def finish_local(sid: int) -> None:
+            sinks, s0, s1 = pending.pop(sid)
+            st, sp = self._run_local(fallback, sinks, s0, s1)
+            shard_stats[sid] = st
+            shard_spans[sid] = (0, sp, sp["timers"]["executor/shard"]["total_s"])
+
+        def redispatch_or_local(sid: int) -> None:
+            if attempts[sid] >= self.max_retries:
+                recoveries.append({
+                    "kind": "serial_shard", "shard": sid,
+                    "reason": f"re-dispatch budget ({self.max_retries}) exhausted",
+                })
+                finish_local(sid)
+                return
+            attempts[sid] += 1
+            sinks, s0, s1 = pending[sid]
+            self._tasks.put((epoch, meta, sid, sinks, s0, s1, attempts[sid]))
+
+        def degrade(reason: str) -> None:
+            self.degraded = True
+            recoveries.append({
+                "kind": "serial_fallback", "reason": reason,
+                "shards": sorted(pending),
+            })
+            for sid in sorted(pending):
+                finish_local(sid)
+
+        if self.degraded:
+            degrade("pool previously unrecoverable")
+
+        while pending:
             try:
-                msg = self._results.get(timeout=1.0)
+                msg = self._results.get(timeout=0.1)
             except _queue.Empty:
-                dead = [p.name for p in self._procs if not p.is_alive()]
+                now = time.monotonic()
+                dead = [i for i, p in enumerate(self._procs) if not p.is_alive()]
                 if dead:
-                    raise RuntimeError(
-                        f"force worker(s) died: {', '.join(dead)}"
-                    ) from None
+                    if respawns + len(dead) > self.max_respawns:
+                        for i in dead:
+                            recoveries.append({
+                                "kind": "worker_death", "worker": i,
+                                "exitcode": self._procs[i].exitcode,
+                                "respawned": False,
+                            })
+                        degrade(
+                            f"respawn budget ({self.max_respawns}) exhausted"
+                        )
+                        continue
+                    for i in dead:
+                        recoveries.append({
+                            "kind": "worker_death", "worker": i,
+                            "exitcode": self._procs[i].exitcode,
+                            "respawned": True,
+                        })
+                        self._procs[i] = self._spawn(i)
+                        respawns += 1
+                    # the dead worker's in-flight shard will never report:
+                    # re-dispatch everything unfinished (dedupe below makes
+                    # a queued duplicate harmless)
+                    for sid in list(pending):
+                        redispatch_or_local(sid)
+                    last_progress = time.monotonic()
+                elif (
+                    self.shard_timeout
+                    and now - last_progress > self.shard_timeout
+                ):
+                    if respawns + self.workers > self.max_respawns:
+                        degrade(
+                            f"pool hung > {self.shard_timeout:g}s with "
+                            f"respawn budget exhausted"
+                        )
+                        continue
+                    recoveries.append({
+                        "kind": "pool_restart",
+                        "reason": f"no progress in {self.shard_timeout:g}s",
+                    })
+                    for i, p in enumerate(self._procs):
+                        p.terminate()
+                        p.join(timeout=1.0)
+                        if p.is_alive():
+                            p.kill()
+                            p.join(timeout=1.0)
+                        self._procs[i] = self._spawn(i)
+                        respawns += 1
+                    for sid in list(pending):
+                        redispatch_or_local(sid)
+                    last_progress = time.monotonic()
                 continue
             kind, ep, sid, wid, payload, spans = msg
-            if ep != epoch:
-                continue  # stale result from an aborted call
-            if kind == "err":
-                errors.append((sid, payload))
-            else:
+            if ep != epoch or sid not in pending:
+                continue  # stale epoch, or duplicate of a healed shard
+            last_progress = time.monotonic()
+            if kind == "ok":
+                pending.pop(sid)
                 shard_stats[sid] = payload
-                shard_spans[sid] = (wid, spans, spans["timers"]["executor/shard"]["total_s"])
-        if errors:
-            sid, tb = errors[0]
-            raise RuntimeError(f"shard {sid} failed in worker pool:\n{tb}")
-        return shard_stats, shard_spans
+                shard_spans[sid] = (
+                    wid, spans, spans["timers"]["executor/shard"]["total_s"]
+                )
+                continue
+            # worker-side exception: retry only this shard, with backoff
+            err_count[sid] += 1
+            if err_count[sid] > self.max_retries:
+                raise RuntimeError(
+                    f"shard {sid} failed in worker pool after "
+                    f"{err_count[sid]} attempts:\n{payload}"
+                )
+            recoveries.append({
+                "kind": "shard_retry", "shard": sid, "worker": wid,
+                "attempt": err_count[sid],
+                "error": payload.strip().splitlines()[-1],
+            })
+            time.sleep(self.retry_backoff_s * err_count[sid])
+            attempts[sid] += 1
+            sinks, s0, s1 = pending[sid]
+            self._tasks.put((epoch, meta, sid, sinks, s0, s1, attempts[sid]))
+        return shard_stats, shard_spans, recoveries
 
-    def _merge_stats(self, shard_stats, shard_spans, n: int, tr) -> dict:
+    def _merge_stats(self, shard_stats, shard_spans, n: int, tr,
+                     recoveries=None) -> dict:
         stats = {
             "cell_interactions": 0,
             "pp_interactions": 0,
@@ -516,13 +735,28 @@ class ForceExecutor:
             "traverse_s": traverse_s,
             "evaluate_s": evaluate_s,
         }
+        if recoveries:
+            self.recoveries.extend(recoveries)
+            stats["executor"]["recoveries"] = recoveries
+            stats["executor"]["degraded"] = self.degraded
+            for r in recoveries:
+                tr.emit({"type": "executor_recovery", **r})
+            if getattr(tr, "enabled", False):
+                tr.count("executor.recoveries", len(recoveries))
         if getattr(tr, "enabled", False):
             tr.count_vec("executor.worker_busy_s", busy)
         return stats
 
     # ----- lifecycle ----------------------------------------------------------
     def close(self) -> None:
-        """Stop the workers and release every shared-memory segment."""
+        """Stop the workers and release every shared-memory segment.
+
+        Hardened against a pool that died mid-``compute``: sentinels go
+        only to live workers, stragglers are terminated then killed, the
+        result queue is drained, and the queue feeder threads are
+        cancelled rather than joined — a dead consumer can therefore
+        never hang teardown or leak shared-memory segments.
+        """
         if self.closed:
             return
         self.closed = True
@@ -530,20 +764,30 @@ class ForceExecutor:
             atexit.unregister(self.close)
         except Exception:
             pass
-        for _ in self._procs:
-            try:
-                self._tasks.put(None)
-            except Exception:
-                pass
+        for p in self._procs:
+            if p.is_alive():
+                try:
+                    self._tasks.put_nowait(None)
+                except Exception:
+                    pass
         for p in self._procs:
             p.join(timeout=5.0)
             if p.is_alive():
                 p.terminate()
                 p.join(timeout=1.0)
+            if p.is_alive():
+                p.kill()
+                p.join(timeout=1.0)
+        # drain undelivered results so the feeder thread can flush
+        try:
+            while True:
+                self._results.get_nowait()
+        except Exception:
+            pass
         for q in (self._tasks, self._results):
             try:
                 q.close()
-                q.join_thread()
+                q.cancel_join_thread()
             except Exception:
                 pass
 

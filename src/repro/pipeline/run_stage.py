@@ -36,7 +36,8 @@ def _default_health() -> bool:
     return os.environ.get("REPRO_HEALTH", "").strip().lower() in ("1", "true", "on", "yes")
 
 
-def run_stage(config_path, workdir=None, tracer=None, workers=None, health=None) -> dict:
+def run_stage(config_path, workdir=None, tracer=None, workers=None, health=None,
+              checkpoint_every=None, resume=None) -> dict:
     """Run the stage described by a generated JSON config.
 
     Returns a small result summary dict (also printed).  Paths inside
@@ -51,6 +52,11 @@ def run_stage(config_path, workdir=None, tracer=None, workers=None, health=None)
     (``--health`` / ``REPRO_HEALTH``): classified health events stream
     to the tracer's sink, a run-provenance manifest is written next to
     the stage config, and the summary gains the event counts.
+    ``checkpoint_every`` makes the evolve stage write a durable
+    checkpoint every N steps under ``<workdir>/checkpoints``;
+    ``resume`` restarts the evolve stage from the newest valid
+    checkpoint there (corrupted files are skipped, already-written
+    snapshots are not recomputed).
     """
     config_path = Path(config_path)
     cfg = json.loads(config_path.read_text())
@@ -62,6 +68,10 @@ def run_stage(config_path, workdir=None, tracer=None, workers=None, health=None)
     if health is None:
         health = bool(cfg.get("health")) or _default_health()
     cfg["health"] = bool(health)
+    if checkpoint_every is not None:
+        cfg["checkpoint_every"] = int(checkpoint_every)
+    if resume is not None:
+        cfg["resume"] = bool(resume)
     stage = cfg.get("stage")
     fn = _STAGES.get(stage)
     if fn is None:
@@ -133,40 +143,92 @@ def _stage_evolve(cfg, workdir):
 
         # diagnostic snapshots belong with the run's other artifacts
         health_cfg = HealthConfig(snapshot_dir=str(workdir))
-    ps, md = load_checkpoint(workdir / cfg["input"])
-    probe = CosmologyParams(
-        omega_m=md["omega_m"], omega_b=md["omega_b"], omega_de=md["omega_de"],
-        h=md["h"], sigma8=md["sigma8"], n_s=md["n_s"],
-    )
+
+    # ----- restart / checkpoint plumbing -----------------------------------------
+    ckpt_every = int(cfg.get("checkpoint_every") or 0)
+    want_resume = bool(cfg.get("resume"))
+    store = None
+    if ckpt_every > 0 or want_resume:
+        from ..resilience import CheckpointStore
+
+        store = CheckpointStore(workdir / "checkpoints")
+
+    sim = None
+    resumed_from = None
+    if want_resume and store is not None:
+        from ..resilience import NoValidCheckpoint
+
+        try:
+            ckpt_path, _, _ = store.latest_valid()
+        except NoValidCheckpoint:
+            pass  # nothing restartable yet: fall through to a cold start
+        else:
+            sim = Simulation.resume(
+                ckpt_path,
+                overrides={"workers": int(cfg.get("workers") or 0)},
+                health=health_cfg,
+            )
+            resumed_from = str(ckpt_path)
+            probe = sim.config.cosmology
+            box = sim.config.box_mpc_h
+
+    if sim is None:
+        ps, md = load_checkpoint(workdir / cfg["input"])
+        probe = CosmologyParams(
+            omega_m=md["omega_m"], omega_b=md["omega_b"], omega_de=md["omega_de"],
+            h=md["h"], sigma8=md["sigma8"], n_s=md["n_s"],
+        )
+        box = md["box_mpc_h"]
+        sim_cfg = SimulationConfig(
+            cosmology=probe,
+            n_per_dim=round(len(ps) ** (1 / 3)),
+            box_mpc_h=box,
+            a_init=ps.a,
+            a_final=cfg["a_final"],
+            errtol=cfg["errtol"],
+            p=cfg.get("p_order", 4),
+            softening=cfg.get("softening", "dehnen_k1"),
+            max_refine=2,
+            # the Layzer-Irvine monitor needs potentials; only pay for them
+            # when health monitoring is on
+            track_energy=bool(cfg.get("health")),
+            workers=int(cfg.get("workers") or 0),
+            health=health_cfg,
+        )
+        sim = Simulation(sim_cfg, particles=ps)
+
+    checkpointer = False
+    if ckpt_every > 0:
+        from ..resilience import CheckpointScheduler
+
+        # one scheduler/store pair spans every snapshot leg of the run
+        checkpointer = (CheckpointScheduler(every_steps=ckpt_every), store)
+
     snapshots = sorted(cfg.get("snapshots_a", [cfg["a_final"]]))
-    sim_cfg = SimulationConfig(
-        cosmology=probe,
-        n_per_dim=round(len(ps) ** (1 / 3)),
-        box_mpc_h=md["box_mpc_h"],
-        a_init=ps.a,
-        a_final=cfg["a_final"],
-        errtol=cfg["errtol"],
-        p=cfg.get("p_order", 4),
-        softening=cfg.get("softening", "dehnen_k1"),
-        max_refine=2,
-        # the Layzer-Irvine monitor needs potentials; only pay for them
-        # when health monitoring is on
-        track_energy=bool(cfg.get("health")),
-        workers=int(cfg.get("workers") or 0),
-        health=health_cfg,
-    )
     written = []
-    with Simulation(sim_cfg, particles=ps) as sim:
+    skipped = []
+    with sim:
         for a_snap in snapshots:
+            if a_snap <= sim.particles.a * (1 + 1e-12):
+                # a resumed run restarts past this snapshot; the file
+                # was written before the interruption
+                skipped.append(f"{a_snap:.4f}")
+                continue
             sim.config = dataclasses.replace(sim.config, a_final=a_snap)
-            state = sim.run()
+            state = sim.run(checkpointer=checkpointer)
             out = workdir / f"{cfg['snapshot_base']}_a{a_snap:.4f}.sdf"
             save_checkpoint(
-                out, state, params=probe, box_mpc_h=md["box_mpc_h"],
+                out, state, params=probe, box_mpc_h=box,
                 git_tag=cfg.get("code_version"),
             )
             written.append(str(out))
     summary = {"stage": "evolve", "steps": len(sim.history), "snapshots": written}
+    if resumed_from:
+        summary["resumed_from"] = resumed_from
+    if skipped:
+        summary["snapshots_skipped"] = skipped
+    if store is not None:
+        summary["checkpoints"] = [str(p) for p in store.list()]
     if cfg.get("health"):
         summary["health"] = sim.run_totals.get("health", {}).get("events", {})
     return summary
@@ -225,15 +287,29 @@ def main(argv=None) -> int:
         "--health", action="store_true", default=None,
         help="enable in-situ health monitoring (default: REPRO_HEALTH env)",
     )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="evolve stage: write a durable checkpoint every N steps "
+             "under <workdir>/checkpoints",
+    )
+    parser.add_argument(
+        "--resume", action="store_true", default=None,
+        help="evolve stage: restart from the newest valid checkpoint "
+             "under <workdir>/checkpoints (corrupted files are skipped)",
+    )
     args = parser.parse_args(argv)
+    kw = dict(
+        workers=args.workers, health=args.health,
+        checkpoint_every=args.checkpoint_every, resume=args.resume,
+    )
     if args.trace is not None:
         tr = Tracer(sink=args.trace)
         try:
-            run_stage(args.config, tracer=tr, workers=args.workers, health=args.health)
+            run_stage(args.config, tracer=tr, **kw)
         finally:
             tr.close()
     else:
-        run_stage(args.config, workers=args.workers, health=args.health)
+        run_stage(args.config, **kw)
     return 0
 
 

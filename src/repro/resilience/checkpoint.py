@@ -1,0 +1,125 @@
+"""Durable checkpoint store: rotation, newest-valid restore, restart state.
+
+One directory holds a rotating window of checkpoints
+(``ckpt_<step>.sdf``), each written atomically with per-column
+checksums and full restart metadata (see :mod:`repro.io.checkpoint`).
+Restore walks newest -> oldest and returns the first file that loads
+cleanly — a checkpoint corrupted by the failure that killed the run
+(or by a :class:`~repro.resilience.faults.FaultPlan` in tests) is
+skipped, not fatal, exactly the degradation a production run wants.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+from ..io.checkpoint import load_checkpoint, save_checkpoint
+from .faults import FaultPlan
+
+__all__ = ["CheckpointStore", "NoValidCheckpoint"]
+
+
+class NoValidCheckpoint(RuntimeError):
+    """No checkpoint in the store survived validation."""
+
+
+class CheckpointStore:
+    """Keep-last-N rotating checkpoint directory with validated restore.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints live; created on first save.
+    keep:
+        Rotation width — after each save, only the newest ``keep``
+        checkpoints remain (the paper checkpoints every ~4 h of an
+        80 h-MTBF run; keeping a short window bounds disk while still
+        surviving a corrupted newest file).
+    prefix:
+        Filename prefix (``<prefix>_<step>.sdf``).
+    faults:
+        Optional :class:`FaultPlan` whose ``corrupt`` clauses are
+        applied to matching writes (deterministic test injection);
+        defaults to the ``REPRO_FAULTS`` environment.
+    """
+
+    def __init__(self, directory, keep: int = 3, prefix: str = "ckpt",
+                 faults: FaultPlan | str | None = None):
+        self.directory = Path(directory)
+        self.keep = int(keep)
+        self.prefix = prefix
+        if faults is None:
+            faults = FaultPlan.from_env()
+        elif isinstance(faults, str):
+            faults = FaultPlan.parse(faults)
+        self.faults = faults
+        self._pattern = re.compile(rf"^{re.escape(prefix)}_(\d+)\.sdf$")
+
+    def path_for(self, step: int) -> Path:
+        return self.directory / f"{self.prefix}_{int(step):06d}.sdf"
+
+    def list(self) -> list[Path]:
+        """All checkpoints in the store, oldest first (by step number)."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for name in os.listdir(self.directory):
+            m = self._pattern.match(name)
+            if m:
+                found.append((int(m.group(1)), self.directory / name))
+        return [p for _, p in sorted(found)]
+
+    # ----- writing ----------------------------------------------------------------
+    def save(self, step: int, particles, **save_kw) -> Path:
+        """Write checkpoint ``step`` durably, inject faults, rotate."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(step)
+        save_checkpoint(path, particles, durable=True, **save_kw)
+        if self.faults:
+            self.faults.corrupt_checkpoint(path)
+        self.prune()
+        return path
+
+    def prune(self) -> list[Path]:
+        """Drop all but the newest ``keep`` checkpoints; returns removed."""
+        existing = self.list()
+        removed = []
+        if self.keep > 0 and len(existing) > self.keep:
+            for path in existing[:-self.keep]:
+                try:
+                    path.unlink()
+                    removed.append(path)
+                except OSError:
+                    pass
+        return removed
+
+    # ----- restoring --------------------------------------------------------------
+    def latest_valid(self, expect_config=None):
+        """Newest checkpoint that loads cleanly: ``(path, particles, md)``.
+
+        Checksum failures, truncation and parse errors skip to the next
+        older file (recorded in ``self.skipped``); a config mismatch
+        against ``expect_config`` is *not* skipped — that is a caller
+        error, not file corruption — and propagates.
+
+        Raises :class:`NoValidCheckpoint` if nothing survives.
+        """
+        from ..io.checkpoint import CheckpointConfigMismatch
+
+        self.skipped: list[tuple[Path, str]] = []
+        for path in reversed(self.list()):
+            try:
+                ps, md = load_checkpoint(path, expect_config=expect_config)
+            except CheckpointConfigMismatch:
+                raise
+            except Exception as exc:
+                self.skipped.append((path, f"{type(exc).__name__}: {exc}"))
+                continue
+            return path, ps, md
+        raise NoValidCheckpoint(
+            f"no valid checkpoint under {self.directory} "
+            f"(skipped {len(self.skipped)}: "
+            f"{[str(p.name) for p, _ in self.skipped]})"
+        )

@@ -79,6 +79,21 @@ class SimulationConfig:
     #: in-situ health monitoring: a :class:`repro.diagnose.HealthConfig`
     #: (or True for defaults); None = disabled, zero per-step cost
     health: object = None
+    # fault tolerance (paper §3.4.2; see :mod:`repro.resilience`)
+    #: directory for scheduled restart checkpoints (None = no checkpointing)
+    checkpoint_dir: str | None = None
+    #: write a checkpoint every N completed steps (0 = off)
+    checkpoint_every_steps: int = 0
+    #: write a checkpoint every S seconds of wall clock (0 = off)
+    checkpoint_interval_s: float = 0.0
+    #: Young/Daly scheduling: the configured MTBF in hours (0 = off);
+    #: the write cost is measured from the first checkpoint actually
+    #: written, then spacing follows sqrt(2 * write * MTBF).  When
+    #: ``checkpoint_dir`` is set with no policy at all, this defaults
+    #: to the paper's 80 h failure interval.
+    checkpoint_mtbf_h: float = 0.0
+    #: rotation width: keep only the newest N checkpoints
+    checkpoint_keep: int = 3
 
     @property
     def eps(self) -> float:
@@ -157,6 +172,10 @@ class Simulation:
         )
         self.history: list[StepRecord] = []
         self.run_totals: dict = {}
+        #: total completed steps across resumes (checkpoint numbering)
+        self.steps_completed = 0
+        #: path this simulation was resumed from, if any
+        self.resumed_from: str | None = None
         self._last_pot: np.ndarray | None = None
         self._li_accum = 0.0
         self._li_last: tuple[float, float, float] | None = None
@@ -230,6 +249,136 @@ class Simulation:
         self.close()
         return False
 
+    # ----- checkpoint / restart ---------------------------------------------------
+    def save_checkpoint(self, path=None, store=None):
+        """Write a durable restart checkpoint; returns its path.
+
+        The file carries everything a bit-identical restart needs: the
+        particle arrays with the leapfrog (a, a_mom) epochs, the full
+        :class:`SimulationConfig` (verified on load — a resume cannot
+        silently change physics), the Layzer-Irvine accumulator, the
+        completed-step count, and the provenance config hash.
+        """
+        from ..diagnose.manifest import config_hash
+        from ..io.checkpoint import save_checkpoint as write_checkpoint
+
+        c = self.config
+        extra = {
+            "restart_steps": self.steps_completed,
+            "restart_li_accum": self._li_accum,
+            "config_sha256": config_hash(c),
+        }
+        if self._li_last is not None:
+            extra["restart_li_a"], extra["restart_li_t"], extra["restart_li_w"] = (
+                self._li_last
+            )
+        kw = dict(
+            params=c.cosmology, box_mpc_h=c.box_mpc_h,
+            sim_config=c, extra_metadata=extra,
+        )
+        if store is not None:
+            return store.save(self.steps_completed, self.particles, **kw)
+        if path is None:
+            raise ValueError("save_checkpoint needs a path or a store")
+        write_checkpoint(path, self.particles, durable=True, **kw)
+        return path
+
+    @staticmethod
+    def _config_from_metadata(md: dict) -> SimulationConfig:
+        """Rebuild the full SimulationConfig a checkpoint recorded."""
+        import dataclasses
+
+        cosmo = CosmologyParams(
+            omega_m=md["omega_m"], omega_b=md["omega_b"],
+            omega_de=md["omega_de"], h=md["h"],
+            sigma8=md.get("sigma8", 0.8), n_s=md.get("n_s", 0.96),
+            t_cmb=md.get("t_cmb", PLANCK2013.t_cmb),
+            n_eff=md.get("n_eff", PLANCK2013.n_eff),
+            w0=md.get("w0", -1.0), wa=md.get("wa", 0.0),
+            include_radiation=bool(md.get("include_radiation", True)),
+            name=str(md.get("cosmology_name", "checkpoint")),
+        )
+        kw = {}
+        for f in dataclasses.fields(SimulationConfig):
+            key = f"simcfg_{f.name}"
+            if f.name in ("cosmology", "health") or key not in md:
+                continue
+            v = md[key]
+            default = f.default
+            if isinstance(default, bool):
+                v = (v == "True") if isinstance(v, str) else bool(int(v))
+            elif default is not None and default is not dataclasses.MISSING:
+                v = type(default)(v)
+            kw[f.name] = v
+        return SimulationConfig(cosmology=cosmo, **kw)
+
+    @classmethod
+    def resume(cls, path, overrides: dict | None = None, expect_config=None,
+               tracer=None, health=None) -> "Simulation":
+        """Reconstruct a simulation from a checkpoint and continue.
+
+        The checkpoint's column checksums are verified, its recorded
+        configuration is restored (and checked against ``expect_config``
+        if given — mismatch raises
+        :class:`~repro.io.checkpoint.CheckpointConfigMismatch`), the
+        Layzer-Irvine accumulator and step count carry over, and the
+        leapfrog offset is reconstructed exactly: a synchronized
+        checkpoint continues bit-identically to an uninterrupted run; a
+        mid-step (offset) checkpoint gets its closing half-kick from the
+        force at the stored positions — the same kick the uninterrupted
+        run applied.  ``overrides`` applies *deliberate* config changes
+        (e.g. ``{"workers": 4}``) after verification.
+        """
+        import dataclasses
+
+        from ..io.checkpoint import load_checkpoint
+
+        ps, md = load_checkpoint(path, expect_config=expect_config)
+        config = cls._config_from_metadata(md)
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+        sim = cls(config, particles=ps, tracer=tracer, health=health)
+        sim.resumed_from = str(path)
+        sim.steps_completed = int(md.get("restart_steps", 0))
+        sim._li_accum = float(md.get("restart_li_accum", 0.0))
+        if "restart_li_a" in md:
+            sim._li_last = (
+                float(md["restart_li_a"]),
+                float(md["restart_li_t"]),
+                float(md["restart_li_w"]),
+            )
+        if abs(ps.a - ps.a_mom) > 1e-14:
+            # leapfrog offset: momenta lag positions — complete the
+            # closing half-kick (force at the stored positions) so the
+            # KDK stepper resumes from a synchronized, 2nd-order state
+            acc = sim._force(ps)
+            sim.integrator.n_force_calls += 1
+            sim.integrator.kick(ps, acc, ps.a_mom, ps.a)
+        return sim
+
+    def _make_checkpointer(self, checkpointer):
+        """Normalize run()'s checkpoint spec to (scheduler, store)."""
+        if checkpointer is False:
+            return None, None
+        if isinstance(checkpointer, tuple):
+            return checkpointer
+        c = self.config
+        if checkpointer is None and not c.checkpoint_dir:
+            return None, None
+        from ..resilience import CheckpointScheduler, CheckpointStore
+
+        sched = CheckpointScheduler(
+            every_steps=c.checkpoint_every_steps,
+            interval_s=c.checkpoint_interval_s,
+            mtbf_h=c.checkpoint_mtbf_h,
+        )
+        if not sched.enabled:
+            # a checkpoint dir with no policy: Young/Daly at the paper's
+            # observed failure interval (§3.4.2)
+            sched = CheckpointScheduler(mtbf_h=80.0)
+        store = CheckpointStore(c.checkpoint_dir, keep=c.checkpoint_keep)
+        return sched, store
+
     # ----- energy diagnostics -----------------------------------------------------
     def _energies(self, ps: ParticleSet, a: float):
         t = ps.kinetic_energy()  # T = sum m v_pec^2/2, v_pec = p/a_mom
@@ -254,7 +403,8 @@ class Simulation:
         return t + w + self._li_accum
 
     # ----- main loop ----------------------------------------------------------------
-    def run(self, callback=None, max_steps: int = 10000, jsonl=None) -> ParticleSet:
+    def run(self, callback=None, max_steps: int = 10000, jsonl=None,
+            checkpointer=None) -> ParticleSet:
         """Advance to a_final; ``callback(sim, record)`` fires per step.
 
         One structured record per step (plus one for the pre-loop force
@@ -262,6 +412,17 @@ class Simulation:
         path or stream, to that JSONL file as well.  ``run_totals``
         afterwards holds run-level wall/interaction totals *including*
         the initial force call, which per-step history alone misses.
+        If the run dies partway — a crash, a health fail-fast, a killed
+        job — partial ``run_totals`` (steps completed, wall, last a) are
+        still populated and emitted, so the JSONL tail stays usable.
+
+        Checkpointing: pass ``checkpointer=(scheduler, store)``
+        (:mod:`repro.resilience`) or set ``config.checkpoint_dir`` (+
+        policy fields) and scheduled durable checkpoints are written
+        after the steps the policy selects; ``checkpointer=False``
+        disables even the config-driven setup.  Restart from one with
+        :meth:`Simulation.resume` — the continuation is bit-identical
+        to the uninterrupted run.
         """
         c = self.config
         ps = self.particles
@@ -290,8 +451,13 @@ class Simulation:
                       "snapshot": fatal.snapshot})
                 raise fatal
 
+        ckpt_sched, ckpt_store = self._make_checkpointer(checkpointer)
+        steps = 0
+        init_wall = 0.0
+        init_ipp = 0.0
+        first_step = len(self.history)
+        t_run0 = time.perf_counter()
         try:
-            t_run0 = time.perf_counter()
             with tr.span("init_force"):
                 acc = self._force(ps)
             init_wall = time.perf_counter() - t_run0
@@ -308,8 +474,8 @@ class Simulation:
             )
             if self.health.enabled:
                 health_check(self.health.on_init(self, acc))
-            steps = 0
-            first_step = len(self.history)
+            if ckpt_sched is not None:
+                ckpt_sched.start(time.perf_counter())
             while ps.a < c.a_final * (1 - 1e-12) and steps < max_steps:
                 t0 = time.perf_counter()
                 with tr.span("step"):
@@ -334,6 +500,8 @@ class Simulation:
                     stage_seconds=self.last_stats.get("stage_seconds", {}),
                 )
                 self.history.append(rec)
+                steps += 1
+                self.steps_completed += 1
                 emit(rec.to_record(len(self.history)))
                 if callback is not None:
                     callback(self, rec)
@@ -341,7 +509,23 @@ class Simulation:
                 # enter the next step, callback mutations included
                 if self.health.enabled:
                     health_check(self.health.on_step(self, rec, acc))
-                steps += 1
+                if ckpt_sched is not None and ckpt_sched.due(
+                    self.steps_completed, time.perf_counter()
+                ):
+                    t_ck = time.perf_counter()
+                    path = self.save_checkpoint(store=ckpt_store)
+                    write_s = time.perf_counter() - t_ck
+                    ckpt_sched.wrote(
+                        self.steps_completed, time.perf_counter(), write_s
+                    )
+                    emit({
+                        "type": "checkpoint",
+                        "path": str(path),
+                        "step": self.steps_completed,
+                        "a": float(ps.a),
+                        "write_s": write_s,
+                        "policy": ckpt_sched.describe(),
+                    })
             new = self.history[first_step:]
             self.run_totals = {
                 "wall_s": time.perf_counter() - t_run0,
@@ -352,9 +536,34 @@ class Simulation:
                 "interactions_per_particle": init_ipp
                 + float(sum(r.interactions_per_particle for r in new)),
             }
+            if ckpt_sched is not None:
+                self.run_totals["checkpoints"] = ckpt_sched.describe()
             if self.health.enabled:
                 self.run_totals["health"] = self.health.summary()
             emit({"type": "run_totals", **self.run_totals})
+        except BaseException as exc:
+            # a crashed run still leaves a usable diagnostics tail:
+            # partial totals say how far it got before dying
+            new = self.history[first_step:]
+            self.run_totals = {
+                "partial": True,
+                "error": f"{type(exc).__name__}: {exc}",
+                "wall_s": time.perf_counter() - t_run0,
+                "steps": steps,
+                "last_a": float(ps.a),
+                "init_force_wall_s": init_wall,
+                "init_interactions_per_particle": init_ipp,
+                "step_wall_s": float(sum(r.wall for r in new)),
+                "interactions_per_particle": init_ipp
+                + float(sum(r.interactions_per_particle for r in new)),
+            }
+            if self.health.enabled:
+                self.run_totals["health"] = self.health.summary()
+            try:
+                emit({"type": "run_totals", **self.run_totals})
+            except Exception:
+                pass
+            raise
         finally:
             if sink is not None:
                 sink.close() if own_sink else sink.flush()
