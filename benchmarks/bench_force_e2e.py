@@ -1,0 +1,188 @@
+"""End-to-end force benchmark: leaf vs hierarchical traversal (A/B).
+
+Times one full periodic background-subtracted treecode force solve at
+each size for both dual-tree walks — the original per-sink-leaf walk
+(``traversal="leaf"``) and the sink-hierarchical mutual walk with CSR
+interaction lists and segment-reduce evaluation — and writes the
+receipt to ``BENCH_force.json`` next to this file:
+
+* force wall and its traverse/evaluate split (steady-state: second
+  solve, so moment/autotune caches are warm),
+* MAC tests (geometric acceptance evaluations) and interactions per
+  particle for each walk,
+* a force-error probe against the Ewald direct reference, graded
+  against the errtol budget,
+* a ``segment_sum`` micro-receipt (np.add.reduceat vs bincount),
+* embedded ``gates`` so ``repro-diag gate BENCH_force.json`` judges
+  the run self-contained (the CI perf-smoke tripwire).
+
+Sizes::
+
+    REPRO_BENCH_N       particles per dimension — sets smoke mode with
+                        one size N^3 and relaxed gates (CI uses 12)
+    (default)           full mode: 16384 and 32768 particles, gates
+                        require >= 3x fewer MAC tests and a traverse
+                        speedup at the largest size
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_force_e2e.py``)
+or via pytest.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.diagnose.probe import reference_accelerations
+from repro.gravity import TreecodeConfig, TreecodeGravity, make_softening
+from repro.gravity.treeforce import segment_sum, segment_sum_bincount
+from repro.instrument import Tracer
+
+OUT_PATH = Path(__file__).parent / "BENCH_force.json"
+
+SMOKE_N = os.environ.get("REPRO_BENCH_N")
+ERRTOL = float(os.environ.get("REPRO_BENCH_FORCE_ERRTOL", "1e-4"))
+SIZES = [int(SMOKE_N) ** 3] if SMOKE_N else [16384, 32768]
+MODE = "smoke" if SMOKE_N else "full"
+
+
+def _particles(n: int, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    return rng.random((n, 3)), np.full(n, 1.0 / n)
+
+
+def _solve(traversal: str, pos, mass) -> dict:
+    cfg = TreecodeConfig(
+        p=4, errtol=ERRTOL, nleaf=16, periodic=True, background=True,
+        traversal=traversal, want_potential=False,
+    )
+    tr = Tracer()
+    solver = TreecodeGravity(cfg)
+    # warm the N-independent caches (lattice expansion, chunk autotune)
+    # on a small subset so the timed solve is steady-state without
+    # paying a second full-size solve
+    nw = min(len(pos), 4096)
+    solver.compute(pos[:nw], mass[:nw], box=1.0)
+    t0 = time.perf_counter()
+    res = solver.compute(pos, mass, box=1.0, tracer=tr)
+    wall = time.perf_counter() - t0
+    stage = res.stats.get("stage_seconds", {})
+    return {
+        "force_wall_s": wall,
+        "traverse_s": stage.get("traverse", 0.0),
+        "evaluate_s": stage.get("evaluate", 0.0),
+        "mac_tests": int(res.stats["mac_tests"]),
+        "frontier_peak": int(res.stats["frontier_peak"]),
+        "interactions_per_particle": float(
+            res.stats["interactions_per_particle"]
+        ),
+        "acc": res.acc,  # stripped before serialization
+        "eps": cfg.eps,
+        "softening": cfg.softening,
+    }
+
+
+def _probe_error(pos, mass, rec, n_samples: int = 8) -> dict:
+    rng = np.random.default_rng(0)
+    idx = rng.choice(len(pos), size=n_samples, replace=False)
+    kern = make_softening(rec["softening"], rec["eps"])
+    ref = reference_accelerations(
+        pos, mass, idx, softening=kern, periodic=True
+    )
+    err = np.linalg.norm(rec["acc"][idx] - ref, axis=1)
+    return {
+        "n_samples": int(n_samples),
+        "max_abs_err": float(err.max()),
+        "rms_abs_err": float(np.sqrt((err**2).mean())),
+        "budget": ERRTOL,
+        "err_over_budget": float(err.max() / ERRTOL),
+    }
+
+
+def _segment_sum_receipt(rows: int = 200_000, segs: int = 20_000) -> dict:
+    """Micro A/B of the two segment-reduction kernels on a CSR-like
+    workload (many short segments, 4 columns like the pp family)."""
+    rng = np.random.default_rng(1)
+    contrib = rng.standard_normal((rows, 4))
+    cuts = np.sort(rng.choice(rows, size=segs - 1, replace=False))
+    starts = np.concatenate([[0], cuts])
+    out = {}
+    for name, fn in (("reduceat", segment_sum), ("bincount", segment_sum_bincount)):
+        fn(contrib, starts)  # warm
+        t0 = time.perf_counter()
+        for _ in range(3):
+            r = fn(contrib, starts)
+        out[f"{name}_s"] = (time.perf_counter() - t0) / 3
+        out[f"{name}_sum"] = float(np.abs(r).sum())
+    assert np.isclose(out["reduceat_sum"], out["bincount_sum"])
+    out["chosen"] = "reduceat" if out["reduceat_s"] <= out["bincount_s"] else "bincount"
+    return out
+
+
+def run() -> dict:
+    sizes = []
+    for n in SIZES:
+        pos, mass = _particles(n)
+        leaf = _solve("leaf", pos, mass)
+        hier = _solve("hierarchical", pos, mass)
+        probe = _probe_error(pos, mass, hier)
+        row = {
+            "n": n,
+            "leaf": {k: v for k, v in leaf.items() if k != "acc"},
+            "hierarchical": {k: v for k, v in hier.items() if k != "acc"},
+            "probe": probe,
+            "mac_test_ratio": leaf["mac_tests"] / max(hier["mac_tests"], 1),
+            "traverse_speedup": leaf["traverse_s"] / max(hier["traverse_s"], 1e-12),
+            "force_speedup": leaf["force_wall_s"] / max(hier["force_wall_s"], 1e-12),
+        }
+        sizes.append(row)
+        print(
+            f"n={n}: mac {leaf['mac_tests']} -> {hier['mac_tests']} "
+            f"({row['mac_test_ratio']:.2f}x fewer), traverse "
+            f"{leaf['traverse_s']:.3f}s -> {hier['traverse_s']:.3f}s "
+            f"({row['traverse_speedup']:.2f}x), force "
+            f"{leaf['force_wall_s']:.3f}s -> {hier['force_wall_s']:.3f}s, "
+            f"ipp {leaf['interactions_per_particle']:.0f} -> "
+            f"{hier['interactions_per_particle']:.0f}, probe err/budget "
+            f"{probe['err_over_budget']:.3f}"
+        )
+    last = sizes[-1]
+    summary = {
+        "n_max": last["n"],
+        "mac_test_ratio": last["mac_test_ratio"],
+        "traverse_speedup": last["traverse_speedup"],
+        "force_speedup": last["force_speedup"],
+        "probe_err_over_budget": last["probe"]["err_over_budget"],
+    }
+    # smoke mode (tiny N) only checks direction + error budget; the
+    # full-size acceptance bounds are the ISSUE's 3x MAC / faster-walk
+    gates = {
+        "mac_test_ratio": {"min": 1.0 if MODE == "smoke" else 3.0},
+        "probe_err_over_budget": {"max": 1.0},
+    }
+    if MODE == "full":
+        gates["traverse_speedup"] = {"min": 1.0}
+    return {
+        "type": "bench_force_e2e",
+        "mode": MODE,
+        "errtol": ERRTOL,
+        "sizes": sizes,
+        "segment_sum": _segment_sum_receipt(),
+        "summary": summary,
+        "gates": gates,
+    }
+
+
+def test_force_e2e_receipt():
+    doc = run()
+    OUT_PATH.write_text(json.dumps(doc, indent=1, sort_keys=True))
+    print(f"wrote {OUT_PATH}")
+    s = doc["summary"]
+    assert s["mac_test_ratio"] >= doc["gates"]["mac_test_ratio"]["min"]
+    assert s["probe_err_over_budget"] <= 1.0
+
+
+if __name__ == "__main__":
+    test_force_e2e_receipt()

@@ -215,6 +215,22 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_gate(args) -> int:
+    # benchmark receipts with embedded gates (e.g. BENCH_force.json)
+    # are judged self-contained: summary vs. the receipt's own bounds
+    try:
+        doc = json.loads(Path(args.trace).read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        doc = None
+    if isinstance(doc, dict) and "gates" in doc:
+        summary = doc.get("summary", doc)
+        failures, rows = compare_to_baseline(summary, doc)
+        print(_table(f"Receipt gate {args.trace}",
+                     ["metric", "measured", "bound", "status"], rows))
+        if failures:
+            print(f"\nGATE FAILED: {', '.join(failures)}", file=sys.stderr)
+            return 1
+        print("\ngate passed: all receipt bounds hold")
+        return 0
     records = read_jsonl(args.trace)
     threshold = SEVERITIES.index(args.severity)
     tripped = [
@@ -260,7 +276,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="extra factor applied to raw-benchmark baselines")
     p.set_defaults(func=_cmd_check)
 
-    p = sub.add_parser("gate", help="fail on health events at a severity")
+    p = sub.add_parser(
+        "gate",
+        help="fail on health events at a severity, or judge a benchmark "
+             "receipt (JSON with embedded 'gates') against its own bounds",
+    )
     p.add_argument("trace")
     p.add_argument("--severity", choices=SEVERITIES, default="error")
     p.set_defaults(func=_cmd_gate)

@@ -33,7 +33,7 @@ from scipy import special
 
 from ..instrument import get_tracer
 from ..multipoles.radial import ErfcKernel
-from ..tree import build_tree, compute_moments, traverse
+from ..tree import build_tree, compute_moments, traverse_lists
 from .smoothing import SofteningKernel, make_softening
 from .treeforce import ForceResult, evaluate_forces
 
@@ -174,6 +174,9 @@ class TreePMConfig:
     nleaf: int = 16
     softening: str = "spline"
     eps: float = 0.01
+    #: dual-tree walk flavour for the short-range half ("hierarchical"
+    #: or "leaf"; see :class:`~repro.gravity.solver.TreecodeConfig`)
+    traversal: str = "hierarchical"
     G: float = 1.0
     #: worker processes for the short-range tree half (0 = serial)
     workers: int = 0
@@ -237,11 +240,14 @@ class TreePMGravity:
                         kernel=ErfcKernel(1.0 / (2.0 * r_split)),
                         rcut=cfg.rcut * r_split,
                         check_finite=cfg.check_finite,
+                        traversal=cfg.traversal,
                         tracer=tr,
                     )
             else:
                 with tr.span("traverse") as sp_traverse:
-                    inter = traverse(tree, moms, periodic=True, ws=1)
+                    inter = traverse_lists(
+                        tree, moms, traversal=cfg.traversal, periodic=True, ws=1
+                    )
                     inter = _prune_far(tree, moms, inter, cfg.rcut * r_split)
                 with tr.span("evaluate") as sp_evaluate:
                     res = evaluate_forces(
@@ -299,8 +305,15 @@ class TreePMGravity:
 
 
 def _prune_far(tree, moms, inter, rcut):
-    """Drop interactions entirely beyond the short-range cutoff."""
+    """Drop interactions entirely beyond the short-range cutoff.
+
+    CSR lists keep their grouping: the row pointers are rebuilt from
+    the kept-entry mask, so the segment-reduce evaluator still sees a
+    valid per-sink-leaf layout.
+    """
     import dataclasses
+
+    from ..tree.traversal import filter_csr_indptr
 
     def keep(sink, src, off):
         if len(sink) == 0:
@@ -311,6 +324,10 @@ def _prune_far(tree, moms, inter, rcut):
 
     kc = keep(inter.cell_sink, inter.cell_src, inter.cell_off)
     kl = keep(inter.leaf_sink, inter.leaf_src, inter.leaf_off)
+    csr = {}
+    if inter.cell_indptr is not None:
+        csr["cell_indptr"] = filter_csr_indptr(inter.cell_indptr, kc)
+        csr["leaf_indptr"] = filter_csr_indptr(inter.leaf_indptr, kl)
     return dataclasses.replace(
         inter,
         cell_sink=inter.cell_sink[kc],
@@ -319,4 +336,5 @@ def _prune_far(tree, moms, inter, rcut):
         leaf_sink=inter.leaf_sink[kl],
         leaf_src=inter.leaf_src[kl],
         leaf_off=inter.leaf_off[kl],
+        **csr,
     )

@@ -13,7 +13,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..instrument import get_tracer
-from ..tree import InteractionLists, Tree, TreeMoments, build_tree, compute_moments, traverse
+from ..tree import (
+    InteractionLists,
+    Tree,
+    TreeMoments,
+    build_tree,
+    compute_moments,
+    traverse_lists,
+)
 from .periodic import PeriodicLocalExpansion
 from .smoothing import SofteningKernel, make_softening
 from .treeforce import ForceResult, evaluate_forces
@@ -64,6 +71,10 @@ class TreecodeConfig:
     #: multipole acceptance criterion: "moment" (estimate; sees the
     #: background-subtraction cancellation) or "absolute" (rigorous bound)
     mac: str = "moment"
+    #: dual-tree walk flavour: "hierarchical" (sink-cell frontier with
+    #: inherited accepts and CSR segment-reduce evaluation) or "leaf"
+    #: (the original per-sink-leaf walk, kept for A/B receipts)
+    traversal: str = "hierarchical"
     softening: str = "dehnen_k1"
     eps: float = 0.01
     G: float = 1.0
@@ -178,11 +189,18 @@ class TreecodeGravity:
                         dtype=cfg.dtype,
                         want_potential=cfg.want_potential,
                         check_finite=cfg.check_finite,
+                        traversal=cfg.traversal,
                         tracer=tr,
                     )
             else:
                 with tr.span("traverse") as sp_traverse:
-                    inter = traverse(tree, moms, periodic=cfg.periodic, ws=cfg.ws)
+                    inter = traverse_lists(
+                        tree,
+                        moms,
+                        traversal=cfg.traversal,
+                        periodic=cfg.periodic,
+                        ws=cfg.ws,
+                    )
                 with tr.span("evaluate") as sp_evaluate:
                     result = evaluate_forces(
                         tree,
@@ -208,6 +226,13 @@ class TreecodeGravity:
                 inter.interactions_per_particle(tree)
             )
             result.stats["traversal_rounds"] = inter.rounds
+            result.stats["mac_tests"] = inter.mac_tests
+            result.stats["frontier_peak"] = inter.frontier_peak
+            if tr.enabled:
+                tr.count("traverse.mac_tests", inter.mac_tests)
+                tr.count("traverse.accepts_inherited", inter.inherited_accepts)
+                tr.count("traverse.accepts_leaf", inter.leaf_accepts)
+                tr.count("traverse.frontier_peak", inter.frontier_peak)
         else:
             # sharded path: workers report the traversal-level count, the
             # same accounting as inter.interactions_per_particle above
@@ -217,6 +242,7 @@ class TreecodeGravity:
         result.stats["n_cells"] = tree.n_cells
         result.stats["errtol"] = cfg.errtol
         result.stats["mac"] = cfg.mac
+        result.stats["traversal"] = cfg.traversal
         if cfg.check_finite:
             raise_if_nonfinite(result, "treecode")
         if tr.enabled:

@@ -37,9 +37,42 @@ from ..tree.traversal import InteractionLists
 from ..util import expand_ranges
 from .smoothing import NoSoftening, SofteningKernel
 
-__all__ = ["ForceResult", "evaluate_forces"]
+__all__ = ["ForceResult", "evaluate_forces", "autotune_chunks", "segment_sum"]
 
 _AXES3 = np.arange(3, dtype=np.int64)
+
+
+def segment_sum(contrib: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Sum ``contrib`` over the contiguous segments beginning at ``starts``.
+
+    ``starts`` must be strictly increasing (zero-length segments
+    filtered out by the caller) with an implicit final boundary at
+    ``len(contrib)``.  ``np.add.reduceat`` touches each contribution
+    once; the ``bincount`` alternative below has to materialize a
+    per-contribution segment-id array first, which loses at every size
+    the evaluator produces (see BENCH_force.json's ``segment_reduce``
+    receipt) — reduceat is the production kernel.
+    """
+    return np.add.reduceat(contrib, starts, axis=0)
+
+
+def segment_sum_bincount(contrib: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """``segment_sum`` via bincount over expanded segment ids.
+
+    Kept as the benchmarked alternative; bit-identical ordering is not
+    guaranteed against reduceat (both sum left-to-right within a
+    segment, so in practice they agree exactly for float64 adds).
+    """
+    n = len(contrib)
+    seg = np.zeros(n, dtype=np.int64)
+    seg[starts[1:]] = 1
+    seg = np.cumsum(seg)
+    if contrib.ndim == 1:
+        return np.bincount(seg, weights=contrib, minlength=len(starts))
+    out = np.empty((len(starts), contrib.shape[1]), dtype=contrib.dtype)
+    for i in range(contrib.shape[1]):
+        out[:, i] = np.bincount(seg, weights=contrib[:, i], minlength=len(starts))
+    return out
 
 
 def _scatter_add_vec(acc, idx, contrib):
@@ -87,6 +120,67 @@ class ForceResult:
     stats: dict = field(default_factory=dict)
 
 
+#: reusable per-process chunk buffers, keyed by (tag, columns, dtype)
+_BUF_POOL: dict[tuple, np.ndarray] = {}
+
+
+def _chunk_buffer(tag: str, rows: int, cols: int, dtype) -> np.ndarray:
+    """A preallocated (rows, cols) scratch view, reused across calls."""
+    key = (tag, cols, np.dtype(dtype).str)
+    buf = _BUF_POOL.get(key)
+    if buf is None or buf.shape[0] < rows:
+        buf = np.empty((max(rows, 1), cols), dtype=dtype)
+        _BUF_POOL[key] = buf
+    return buf[:rows]
+
+
+@functools.lru_cache(maxsize=8)
+def autotune_chunks(p: int, dtype_str: str) -> tuple[int, int]:
+    """One-shot calibration of (cell_chunk, pp_chunk) for this process.
+
+    Times the dominant inner kernels — the order-(p+1) derivative
+    tensor recurrence for cell interactions and the softened inverse-r
+    pass for particle-particle blocks — over candidate chunk sizes on
+    synthetic data, and returns the fastest per-row choice of each.
+    Chunk size only affects speed, never results (the CSR evaluator
+    aligns chunks to whole sink particles), so a noisy pick is safe.
+    """
+    import time
+
+    dtype = np.dtype(dtype_str)
+    rng = np.random.default_rng(0)
+    nhi = n_coeffs(p + 1)
+    dt_fn = compiled_dtensor_function(p + 1)
+
+    def time_once(fn) -> float:
+        fn()  # warm up / JIT numpy internals out of the measurement
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
+
+    best_cell, best_cost = 16384, np.inf
+    for c in (8192, 16384, 32768, 65536):
+        dx = rng.standard_normal((c, 3)).astype(dtype) + 2.0
+        g = rng.standard_normal((p + 2, c)).astype(dtype)
+        out = np.empty((c, nhi), dtype=dtype)
+        cost = time_once(lambda: dt_fn(dx[:, 0], dx[:, 1], dx[:, 2], g, out)) / c
+        if cost < best_cost:
+            best_cell, best_cost = c, cost
+    best_pp, best_cost = 262144, np.inf
+    for c in (65536, 131072, 262144, 524288):
+        dx = rng.standard_normal((c, 3)).astype(dtype) + 1.0
+
+        def pp_kernel(dx=dx):
+            r = np.sqrt(np.einsum("ij,ij->i", dx, dx))
+            f = 1.0 / (r * r * r)
+            return f[:, None] * dx
+
+        cost = time_once(pp_kernel) / c
+        if cost < best_cost:
+            best_pp, best_cost = c, cost
+    return best_cell, best_pp
+
+
 @functools.lru_cache(maxsize=32)
 def _acc_columns(p: int):
     """Packed column indices of D_{alpha+e_i} for each axis i (cached)."""
@@ -111,7 +205,7 @@ def evaluate_forces(
     want_potential: bool = True,
     kernel: RadialKernel | None = None,
     cell_chunk: int | None = None,
-    pp_chunk: int = 262144,
+    pp_chunk: int | None = None,
     particle_range: tuple[int, int] | None = None,
 ) -> ForceResult:
     """Evaluate all interactions; returns fields in original particle order.
@@ -125,6 +219,11 @@ def evaluate_forces(
     dtype:
         Accumulation precision (float32 reproduces the single-precision
         behaviour of Fig. 6 / Table 3).
+    cell_chunk, pp_chunk:
+        Interaction-rows per evaluation chunk for the cell and the
+        pp/prism families.  ``None`` means: CSR lists autotune both
+        from the one-shot :func:`autotune_chunks` calibration, the flat
+        per-leaf lists fall back to the historical fixed defaults.
     particle_range:
         Half-open (start, end) range of *key-sorted* particle indices
         covering every sink in ``inter`` (a shard of SFC-contiguous
@@ -132,9 +231,23 @@ def evaluate_forces(
         stay in key-sorted order and skip the final unsort/astype — the
         caller (the shared-memory executor) merges disjoint shard
         slices and unsorts once.
+
+    CSR lists from :func:`~repro.tree.traversal.traverse_hierarchical`
+    take the segment-reduce path: contributions are generated
+    sink-particle-major in chunks aligned to whole particles, summed
+    per particle with one :func:`segment_sum` pass, and added at unique
+    output rows — no giant up-front ``np.repeat`` expansion and no
+    bincount scatter, and results are bit-identical at any chunk size.
     """
     softening = softening or NoSoftening()
     kernel = kernel or NewtonianKernel()
+    if inter.cell_indptr is not None:
+        return _evaluate_forces_csr(
+            tree, moms, inter, softening, G, dtype, want_potential,
+            kernel, cell_chunk, pp_chunk, particle_range,
+        )
+    if pp_chunk is None:
+        pp_chunk = 262144
     p = moms.p
     s0, s1 = particle_range if particle_range is not None else (0, tree.n_particles)
     n = s1 - s0
@@ -287,6 +400,206 @@ def evaluate_forces(
         return ForceResult(acc=acc, pot=pot, stats=stats)
 
     # unsort to original particle order
+    acc_out = np.empty_like(acc)
+    acc_out[tree.order] = acc
+    if want_potential:
+        pot_out = np.empty_like(pot)
+        pot_out[tree.order] = pot
+    else:
+        pot_out = None
+    if dtype is not np.float64:
+        acc_out = acc_out.astype(dtype)
+        if pot_out is not None:
+            pot_out = pot_out.astype(dtype)
+    return ForceResult(acc=acc_out, pot=pot_out, stats=stats)
+
+
+def _evaluate_forces_csr(
+    tree: Tree,
+    moms: TreeMoments,
+    inter: InteractionLists,
+    softening: SofteningKernel,
+    G: float,
+    dtype,
+    want_potential: bool,
+    kernel: RadialKernel,
+    cell_chunk: int | None,
+    pp_chunk: int | None,
+    particle_range: tuple[int, int] | None,
+) -> ForceResult:
+    """Segment-reduce evaluation of CSR-grouped interaction lists.
+
+    Rows follow ``inter.sink_leaves`` (SFC order), so generating
+    contributions row by row is automatically *sink-particle-major*:
+    each sink particle's contributions form one contiguous run, closed
+    by a single reduceat over the run boundaries, and each particle
+    lands in exactly one chunk (chunks split only between particles),
+    making the result independent of the chunk sizes.
+    """
+    p = moms.p
+    s0, s1 = particle_range if particle_range is not None else (0, tree.n_particles)
+    n = s1 - s0
+    acc = np.zeros((n, 3), dtype=np.float64)
+    pot = np.zeros(n, dtype=np.float64) if want_potential else None
+    if cell_chunk is None or pp_chunk is None:
+        tuned_cell, tuned_pp = autotune_chunks(p, np.dtype(dtype).str)
+        cell_chunk = cell_chunk if cell_chunk is not None else tuned_cell
+        pp_chunk = pp_chunk if pp_chunk is not None else tuned_pp
+
+    def loc(idx):
+        return idx - s0 if s0 else idx
+
+    stats = {
+        "cell_interactions": 0,
+        "pp_interactions": 0,
+        "prism_interactions": 0,
+        "order": p,
+        "evaluator": "csr",
+    }
+
+    sinks = inter.sink_leaves
+    # per sink particle: global key-sorted index and owning CSR row
+    leaf_np = tree.cell_count[sinks]
+    pid = expand_ranges(tree.cell_start[sinks], leaf_np)
+    row_of_p = np.repeat(np.arange(len(sinks), dtype=np.int64), leaf_np)
+
+    def particle_chunks(m_p, budget):
+        """Yield (a, b) particle ranges of <= budget contributions."""
+        csum = np.cumsum(m_p)
+        a = 0
+        while a < len(m_p):
+            base = csum[a - 1] if a else 0
+            b = int(np.searchsorted(csum, base + budget, side="left") + 1)
+            b = min(max(b, a + 1), len(m_p))
+            yield a, b
+            a = b
+
+    def reduce_into(contrib, pcontrib, a, b, lens):
+        starts = np.zeros(len(lens), dtype=np.int64)
+        np.cumsum(lens[:-1], out=starts[1:])
+        nz = lens > 0
+        if not np.any(nz):
+            return
+        rows = loc(pid[a:b][nz])
+        acc[rows] += segment_sum(contrib, starts[nz])
+        if want_potential:
+            pot[rows] += segment_sum(pcontrib, starts[nz])
+
+    # ----- cell (multipole) interactions --------------------------------------
+    if len(inter.cell_sink):
+        mis = multi_index_set(p)
+        w = ((-1.0) ** mis.order) / mis.factorial
+        cols = _acc_columns(p)
+        ncoef = len(mis)
+        nhi = n_coeffs(p + 1)
+        dt_fn = compiled_dtensor_function(p + 1)
+        nent = np.diff(inter.cell_indptr)
+        m_p = nent[row_of_p]
+        stats["cell_interactions"] = int(m_p.sum())
+        w_t = w.astype(dtype)
+        for a, b in particle_chunks(m_p, cell_chunk):
+            lf = row_of_p[a:b]
+            ent = expand_ranges(inter.cell_indptr[lf], nent[lf])
+            src = inter.cell_src[ent]
+            off = inter.cell_off[ent]
+            pidx = np.repeat(pid[a:b], m_p[a:b])
+            dx = tree.pos[pidx] - (tree.cell_center[src] + inter.offsets[off])
+            r = np.sqrt(np.einsum("ij,ij->i", dx, dx))
+            g = kernel.radial_derivs(r, p + 1)
+            if dtype is not np.float64:
+                dx = dx.astype(dtype)
+                g = g.astype(dtype)
+            out = _chunk_buffer("dtensor", len(ent), nhi, dtype)
+            dt_fn(dx[:, 0], dx[:, 1], dx[:, 2], g, out)
+            m = moms.moments[src, :ncoef].astype(dtype, copy=False)
+            wm = m * w_t
+            a_contrib = _chunk_buffer("cell_acc", len(ent), 3, dtype)
+            for i in range(3):
+                a_contrib[:, i] = np.einsum("ij,ij->i", out[:, cols[i]], wm)
+            p_contrib = None
+            if want_potential:
+                p_contrib = np.einsum("ij,ij->i", out[:, :ncoef], wm).astype(
+                    np.float64
+                )
+            reduce_into(a_contrib.astype(np.float64), p_contrib, a, b, m_p[a:b])
+
+    # ----- particle-particle interactions --------------------------------------
+    if len(inter.leaf_sink):
+        pos_w = tree.pos if dtype is np.float64 else tree.pos.astype(dtype)
+        mass_w = tree.mass if dtype is np.float64 else tree.mass.astype(dtype)
+        offsets_w = inter.offsets.astype(dtype, copy=False)
+        home_off = int(np.flatnonzero(np.all(inter.offsets == 0.0, axis=1))[0])
+        nent = np.diff(inter.leaf_indptr)
+        ct_ent = tree.cell_count[inter.leaf_src]
+        # per-row source-particle total -> per-sink-particle fan-out
+        row_ct = np.zeros(len(sinks), dtype=np.int64)
+        nz_rows = nent > 0
+        if np.any(nz_rows):
+            starts = inter.leaf_indptr[:-1][nz_rows]
+            row_ct[nz_rows] = np.add.reduceat(ct_ent, starts)
+        m_p = row_ct[row_of_p]
+        stats["pp_interactions"] = int(m_p.sum())
+        for a, b in particle_chunks(m_p, pp_chunk):
+            lf = row_of_p[a:b]
+            ent = expand_ranges(inter.leaf_indptr[lf], nent[lf])
+            reps = ct_ent[ent]
+            src_part = expand_ranges(tree.cell_start[inter.leaf_src[ent]], reps)
+            sink_part = np.repeat(pid[a:b], m_p[a:b])
+            off_row = np.repeat(inter.leaf_off[ent], reps)
+            dx = pos_w[sink_part] - (pos_w[src_part] + offsets_w[off_row])
+            r = np.sqrt(np.einsum("ij,ij->i", dx, dx))
+            self_pair = (sink_part == src_part) & (off_row == home_off)
+            f = softening.force_factor(r).astype(dtype, copy=False)
+            f[self_pair] = 0.0
+            fm = mass_w[src_part] * f
+            p_contrib = None
+            if want_potential:
+                psi = softening.potential(r).astype(dtype, copy=False)
+                psi[self_pair] = 0.0
+                p_contrib = (mass_w[src_part] * psi).astype(np.float64)
+            reduce_into(
+                (-(fm[:, None] * dx)).astype(np.float64), p_contrib, a, b, m_p[a:b]
+            )
+
+    # ----- analytic background cubes -------------------------------------------
+    if moms.background:
+        rho = -moms.mean_density  # subtract the background
+        prism_passes = [(inter.ghost_src, inter.ghost_off, inter.ghost_indptr)]
+        if len(inter.leaf_sink):
+            # in background mode every direct leaf pair also needs its
+            # source cube's background removed
+            prism_passes.append(
+                (inter.leaf_src, inter.leaf_off, inter.leaf_indptr)
+            )
+        for fam_src, fam_off, fam_indptr in prism_passes:
+            if not len(fam_src):
+                continue
+            nent = np.diff(fam_indptr)
+            m_p = nent[row_of_p]
+            stats["prism_interactions"] += int(m_p.sum())
+            for a, b in particle_chunks(m_p, pp_chunk):
+                lf = row_of_p[a:b]
+                ent = expand_ranges(fam_indptr[lf], nent[lf])
+                src = fam_src[ent]
+                off = fam_off[ent]
+                pidx = np.repeat(pid[a:b], m_p[a:b])
+                pts = tree.pos[pidx]
+                ctr = tree.cell_center[src] + inter.offsets[off]
+                half = 0.5 * tree.cell_side[src][:, None]
+                a_contrib = prism_acceleration(pts, ctr - half, ctr + half, rho)
+                p_contrib = None
+                if want_potential:
+                    p_contrib = prism_potential(pts, ctr - half, ctr + half, rho)
+                reduce_into(a_contrib, p_contrib, a, b, m_p[a:b])
+
+    if G != 1.0:
+        acc *= G
+        if want_potential:
+            pot *= G
+
+    if particle_range is not None:
+        return ForceResult(acc=acc, pot=pot, stats=stats)
+
     acc_out = np.empty_like(acc)
     acc_out[tree.order] = acc
     if want_potential:

@@ -8,6 +8,14 @@ Gflops accounting — as a cross-cutting subsystem: a thread-safe
 report rendering, and a measured-vs-modeled cross-check against
 :mod:`repro.perfmodel`.  The default tracer is a no-op
 (:data:`NULL_TRACER`), so uninstrumented runs pay nothing.
+
+Traversal counters: the force path counts ``traverse.mac_tests``
+(geometric MAC evaluations — one per frontier pair in the mutual
+hierarchical walk), ``traverse.frontier_peak`` (peak frontier width),
+and the accept split ``traverse.accepts_inherited`` (recorded at
+interior sink cells, pushed down by the inheritance pass) vs.
+``traverse.accepts_leaf`` (decided at sink leaves).  Sharded runs sum
+the counts (max for the peak) across workers.
 """
 
 from .events import JsonlSink, read_jsonl

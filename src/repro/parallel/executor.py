@@ -194,13 +194,14 @@ class _WorkerState:
 def _run_shard(state: _WorkerState, sinks, s0: int, s1: int):
     """Traverse + evaluate one shard, writing into the shared output."""
     from ..gravity.treeforce import evaluate_forces
-    from ..tree.traversal import traverse
+    from ..tree.traversal import traverse_lists
 
     task = state.task
     t0 = time.perf_counter()
-    inter = traverse(
+    inter = traverse_lists(
         state.tree,
         state.moms,
+        traversal=task.get("traversal", "leaf"),
         periodic=task["periodic"],
         ws=task["ws"],
         sink_leaves=sinks,
@@ -234,6 +235,10 @@ def _run_shard(state: _WorkerState, sinks, s0: int, s1: int):
         if res.pot is not None:
             stats["nonfinite_acc"] += int(np.count_nonzero(~np.isfinite(res.pot)))
     stats["traversal_rounds"] = inter.rounds
+    stats["mac_tests"] = inter.mac_tests
+    stats["frontier_peak"] = inter.frontier_peak
+    stats["inherited_accepts"] = inter.inherited_accepts
+    stats["leaf_accepts"] = inter.leaf_accepts
     # the serial solver reports interactions/particle from the traversal
     # lists (which exclude the near-field background prism corrections
     # that the evaluate counters include); keep the metric comparable
@@ -253,7 +258,13 @@ def _run_shard(state: _WorkerState, sinks, s0: int, s1: int):
             "executor/evaluate": _timer(t2 - t1),
             "executor/shard": _timer(t2 - t0),
         },
-        "counters": {"executor.shards": 1, "executor.interactions": n_inter},
+        "counters": {
+            "executor.shards": 1,
+            "executor.interactions": n_inter,
+            "traverse.mac_tests": inter.mac_tests,
+            "traverse.accepts_inherited": inter.inherited_accepts,
+            "traverse.accepts_leaf": inter.leaf_accepts,
+        },
     }
     return stats, spans
 
@@ -422,6 +433,7 @@ class ForceExecutor:
         rcut: float | None = None,
         xmax: float = 0.6,
         check_finite: bool = False,
+        traversal: str = "leaf",
         tracer=None,
     ):
         """Traverse + evaluate all sink leaves across the pool.
@@ -470,6 +482,7 @@ class ForceExecutor:
                 "want_potential": want_potential,
                 "rcut": rcut,
                 "check_finite": check_finite,
+                "traversal": traversal,
                 "faults": self._fault_spec,
             },
         }
@@ -695,6 +708,10 @@ class ForceExecutor:
             "traversal_interactions": 0,
             "order": 0,
             "traversal_rounds": 0,
+            "mac_tests": 0,
+            "frontier_peak": 0,
+            "inherited_accepts": 0,
+            "leaf_accepts": 0,
         }
         for s in shard_stats.values():
             stats["cell_interactions"] += s.get("cell_interactions", 0)
@@ -705,6 +722,12 @@ class ForceExecutor:
             stats["traversal_rounds"] = max(
                 stats["traversal_rounds"], s.get("traversal_rounds", 0)
             )
+            stats["mac_tests"] += s.get("mac_tests", 0)
+            stats["frontier_peak"] = max(
+                stats["frontier_peak"], s.get("frontier_peak", 0)
+            )
+            stats["inherited_accepts"] += s.get("inherited_accepts", 0)
+            stats["leaf_accepts"] += s.get("leaf_accepts", 0)
         if any("nonfinite_acc" in s for s in shard_stats.values()):
             bad = {sid: s["nonfinite_acc"] for sid, s in shard_stats.items()
                    if s.get("nonfinite_acc")}

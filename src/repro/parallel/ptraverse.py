@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..tree import Tree, TreeMoments, traverse
+from ..tree import Tree, TreeMoments, traverse_lists
 from .abm import ABMEngine
 from .machine import MachineModel
 
@@ -66,12 +66,16 @@ def parallel_traversal(
     periodic: bool = False,
     ws: int = 1,
     batching: bool = True,
+    traversal: str = "leaf",
 ) -> ParallelTraversalStats:
     """Decompose sink leaves over ranks and account the traversal.
 
     Rank boundaries follow the key-sorted particle order (the SFC
     decomposition); ownership of a source cell is the rank owning its
-    first particle.
+    first particle.  The default ``traversal="leaf"`` walk partitions
+    interaction work exactly across ranks; the hierarchical walk is
+    also exact (restricted walks replay the unrestricted decisions)
+    but groups accepts by sink leaf through inheritance.
     """
     machine = machine or MachineModel()
     n = tree.n_particles
@@ -101,7 +105,10 @@ def parallel_traversal(
         sinks = leaf_sorted[leaf_rank == r]
         if len(sinks) == 0:
             continue
-        inter = traverse(tree, moms, periodic=periodic, ws=ws, sink_leaves=sinks)
+        inter = traverse_lists(
+            tree, moms, traversal=traversal,
+            periodic=periodic, ws=ws, sink_leaves=sinks,
+        )
         w = (
             inter.n_cell_interactions(tree)
             + inter.n_pp_interactions(tree)
@@ -145,6 +152,7 @@ def parallel_forces(
     softening=None,
     periodic: bool = False,
     ws: int = 1,
+    traversal: str = "leaf",
 ):
     """Compute forces rank by rank and assemble the global answer.
 
@@ -173,7 +181,10 @@ def parallel_forces(
         sinks = leaf_sorted[leaf_rank == r]
         if len(sinks) == 0:
             continue
-        inter = traverse(tree, moms, periodic=periodic, ws=ws, sink_leaves=sinks)
+        inter = traverse_lists(
+            tree, moms, traversal=traversal,
+            periodic=periodic, ws=ws, sink_leaves=sinks,
+        )
         res = evaluate_forces(
             tree, moms, inter, softening=softening, want_potential=True
         )

@@ -61,6 +61,9 @@ class SimulationConfig:
     p: int = 4
     nleaf: int = 16
     softening: str = "dehnen_k1"
+    #: dual-tree walk flavour ("hierarchical" or the legacy "leaf";
+    #: see :class:`repro.gravity.TreecodeConfig`)
+    traversal: str = "hierarchical"
     #: softening length as a fraction of the mean interparticle spacing
     eps_frac: float = 0.05
     ws: int = 1
@@ -200,6 +203,7 @@ class Simulation:
                     periodic=True,
                     ws=c.ws,
                     softening=c.softening,
+                    traversal=c.traversal,
                     eps=c.eps,
                     want_potential=c.track_energy,
                     dtype=np.float32,
@@ -215,6 +219,7 @@ class Simulation:
                     errtol=c.errtol,
                     nleaf=c.nleaf,
                     softening=c.softening if c.softening != "dehnen_k1" else "spline",
+                    traversal=c.traversal,
                     eps=c.eps,
                     workers=c.workers,
                     check_finite=check_finite,

@@ -2,7 +2,12 @@
 
 from .moments import TreeMoments, compute_moments, unit_cube_abs_moment
 from .structure import Tree, build_tree
-from .traversal import InteractionLists, traverse
+from .traversal import (
+    InteractionLists,
+    traverse,
+    traverse_hierarchical,
+    traverse_lists,
+)
 
 __all__ = [
     "InteractionLists",
@@ -11,5 +16,7 @@ __all__ = [
     "build_tree",
     "compute_moments",
     "traverse",
+    "traverse_hierarchical",
+    "traverse_lists",
     "unit_cube_abs_moment",
 ]

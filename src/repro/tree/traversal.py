@@ -1,27 +1,57 @@
 """Batched dual-tree traversal with the absolute-error MAC (paper §3.2-3.3).
 
-The traversal walks source cells against *sink leaves* (blocks of up
-to ``nleaf`` particles) rather than individual particles — the m x n
-interaction blocking of §3.3 that amortizes data movement and enables
-vector evaluation.  Correctness for every particle in the block is
-preserved by testing the MAC against the nearest possible particle,
-d_eff = |x_sink - x_src| - b_max(sink).
+Two walks produce interaction lists for the same MAC:
 
-The frontier of (sink leaf, source cell, image offset) triples is
-processed breadth-first with vectorized accept / direct / split
-decisions; seeding the frontier with the 3^3 or 5^3 periodic image
+* :func:`traverse` — the original *per-sink-leaf* walk: every sink
+  leaf (block of up to ``nleaf`` particles, the m x n blocking of
+  §3.3) runs its own root-to-leaf source descent.  Simple, but MAC
+  tests scale like O(n_leaves · log N) because nearby sink leaves make
+  nearly identical accept/split decisions.
+
+* :func:`traverse_hierarchical` — the sink-hierarchical *dual* walk
+  (Dehnen's O(N) amortization, astro-ph/0202512, applied to the 2HOT
+  MAC): the frontier holds (sink *cell*, source cell, image offset)
+  triples starting from (root, root).  The MAC is tested against the
+  whole sink cell with d_eff = |x_sink - x_src| - b_max(sink cell),
+  which lower-bounds the distance from *every* particle under the sink
+  cell to the source, so an accept at an interior sink cell is
+  conservative for all descendants and the §2.2.2 error bound holds
+  unchanged.  Accepted interactions are recorded at the interior sink
+  cell and pushed down to the sink leaves by a vectorized inheritance
+  pass; undecided pairs refine on the sink or source side (the side
+  with the larger b_max splits).  Distant periodic images resolve in
+  O(1) pairs at the root instead of O(n_leaves) — with background
+  subtraction the root monopole vanishes and all 26 ws=1 images are
+  accepted in the first rounds.
+
+The frontier is processed breadth-first with vectorized accept /
+direct / split decisions; seeding with the 3^3 or 5^3 periodic image
 offsets of the root reproduces the paper's ws = 1 / ws = 2 near-image
-handling for periodic boundaries (§2.4) — with background subtraction
-the root's monopole vanishes, so distant images are accepted
-immediately and cost almost nothing.
+handling (§2.4).
 
-Outputs are flat interaction lists consumed by
+Outputs are :class:`InteractionLists` consumed by
 :mod:`repro.gravity.treeforce`:
 
 * ``cell_pairs``   — (sink leaf, source cell, offset) multipole interactions,
 * ``leaf_pairs``   — (sink leaf, source leaf, offset) particle-particle blocks,
 * ``ghost_pairs``  — (sink leaf, ghost cell, offset) near-field analytic
   background cubes (only in background-subtraction mode).
+
+The hierarchical walk additionally emits the lists in **CSR form**:
+each family is sorted by sink leaf (rows follow ``sink_leaves``, which
+is in SFC/particle order) with ``*_indptr`` arrays delimiting each
+leaf's segment, so the evaluator can replace scatter-adds with
+contiguous per-sink segment reductions.
+
+Restricted traversals (the ``sink_leaves`` parameter, used by the
+shard executor and the simulated ranks) run the *same* walk from the
+global root with sink descent masked to cells containing selected
+leaves.  Decisions are pure functions of (sink cell, source cell,
+offset), so every decision a restricted walk makes is identical to the
+decision the full walk makes for that pair — per-leaf CSR segments
+(contents *and* order) are independent of the sharding, which is what
+keeps the executor's disjoint-slice merge bit-identical at any worker
+count.
 """
 
 from __future__ import annotations
@@ -30,15 +60,28 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..util import expand_ranges
 from .moments import TreeMoments
 from .structure import Tree
 
-__all__ = ["InteractionLists", "traverse"]
+__all__ = [
+    "InteractionLists",
+    "traverse",
+    "traverse_hierarchical",
+    "traverse_lists",
+    "filter_csr_indptr",
+]
 
 
 @dataclass
 class InteractionLists:
-    """Flat interaction lists plus bookkeeping counters."""
+    """Flat interaction lists plus bookkeeping counters.
+
+    When produced by :func:`traverse_hierarchical` the three families
+    are sorted by sink leaf (row order = ``sink_leaves``) and the
+    ``*_indptr`` arrays hold the CSR row ranges; the per-leaf walk
+    leaves them ``None``.
+    """
 
     sink_leaves: np.ndarray  # all sink leaf cell indices traversed
     offsets: np.ndarray  # (n_off, 3) image offsets used
@@ -52,6 +95,15 @@ class InteractionLists:
     ghost_src: np.ndarray
     ghost_off: np.ndarray
     rounds: int = 0
+    # CSR row ranges over sink_leaves (hierarchical walk only)
+    cell_indptr: np.ndarray | None = None
+    leaf_indptr: np.ndarray | None = None
+    ghost_indptr: np.ndarray | None = None
+    # traversal-cost counters
+    mac_tests: int = 0
+    frontier_peak: int = 0
+    inherited_accepts: int = 0  # accepts recorded at interior sink cells
+    leaf_accepts: int = 0  # accepts recorded at sink leaves
 
     def n_cell_interactions(self, tree: Tree) -> int:
         """Total (particle, cell-multipole) interaction count."""
@@ -83,6 +135,15 @@ def _image_offsets(box: float, ws: int) -> np.ndarray:
     # put the home image first (cosmetic, helps debugging)
     order = np.argsort(np.einsum("ij,ij->i", off, off), kind="stable")
     return off[order] * box
+
+
+def filter_csr_indptr(indptr: np.ndarray, keep: np.ndarray) -> np.ndarray:
+    """Row pointer of a CSR list after masking entries with ``keep``."""
+    seg = np.repeat(np.arange(len(indptr) - 1), np.diff(indptr))
+    counts = np.bincount(seg[keep], minlength=len(indptr) - 1)
+    out = np.zeros(len(indptr), dtype=np.int64)
+    np.cumsum(counts, out=out[1:])
+    return out
 
 
 def traverse(
@@ -129,19 +190,23 @@ def traverse(
     leaf_sink, leaf_src, leaf_off = [], [], []
     ghost_sink, ghost_src, ghost_off = [], [], []
 
-    sink_center = tree.cell_center
+    cell_center = tree.cell_center
     sink_bmax = moms.bmax
     is_leaf = tree.is_leaf
     is_ghost = tree.cell_is_ghost
     rounds = 0
+    mac_tests = 0
+    frontier_peak = 0
     while len(f_sink):
         rounds += 1
-        d = sink_center[f_sink] - (tree.cell_center[f_src] + offsets[f_off])
+        mac_tests += len(f_sink)
+        frontier_peak = max(frontier_peak, len(f_sink))
+        src_bmax = moms.bmax[f_src]
+        src_rcrit = moms.r_crit[f_src]
+        d = cell_center[f_sink] - (cell_center[f_src] + offsets[f_off])
         dist = np.sqrt(np.einsum("ij,ij->i", d, d))
         d_eff = dist - sink_bmax[f_sink]
-        accept = (d_eff > moms.r_crit[f_src]) & (
-            moms.bmax[f_src] < xmax * d_eff
-        )
+        accept = (d_eff > src_rcrit) & (src_bmax < xmax * d_eff)
         # never "accept" a sink's own home-image self cell via MAC with a
         # degenerate zero distance; d_eff <= 0 there so accept is False.
         src_leaf = is_leaf[f_src]
@@ -173,16 +238,14 @@ def traverse(
         f_sink = np.repeat(f_sink[split], nch)
         f_off = np.repeat(f_off[split], nch)
         first = tree.cell_first_child[parents_src]
-        total = int(nch.sum())
-        block_first = np.repeat(np.cumsum(nch) - nch, nch)
-        within = np.arange(total, dtype=np.int64) - block_first
-        f_src = np.repeat(first, nch) + within
+        f_src = expand_ranges(first, nch)
 
     def cat(parts):
         return (
             np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
         )
 
+    n_leaf_accepts = sum(len(a) for a in acc_sink)
     return InteractionLists(
         sink_leaves=sinks,
         offsets=offsets,
@@ -196,4 +259,342 @@ def traverse(
         ghost_src=cat(ghost_src),
         ghost_off=cat(ghost_off),
         rounds=rounds,
+        mac_tests=mac_tests,
+        frontier_peak=frontier_peak,
+        inherited_accepts=0,
+        leaf_accepts=n_leaf_accepts,
     )
+
+
+def _sink_relevance(tree: Tree, sinks: np.ndarray | None) -> np.ndarray:
+    """Boolean mask over cells: subtree contains >= 1 selected sink leaf.
+
+    With no restriction every real (particle-bearing) cell qualifies;
+    ghost cells never do (they are empty and only ever sources).
+    """
+    if sinks is None:
+        return tree.cell_count > 0
+    # len(cell_level), not tree.n_cells: worker-side trees drop cell_key
+    relevant = np.zeros(len(tree.cell_level), dtype=bool)
+    relevant[sinks] = True
+    for level in range(tree.max_level - 1, -1, -1):
+        cells = tree.cells_at_level(level)
+        internal = cells[tree.cell_first_child[cells] >= 0]
+        if len(internal) == 0:
+            continue
+        nch = tree.cell_nchildren[internal]
+        kids = expand_ranges(tree.cell_first_child[internal], nch)
+        kid_parent = np.repeat(internal, nch)
+        np.logical_or.at(relevant, kid_parent, relevant[kids])
+    return relevant
+
+
+def traverse_hierarchical(
+    tree: Tree,
+    moms: TreeMoments,
+    periodic: bool = False,
+    ws: int = 1,
+    sink_leaves: np.ndarray | None = None,
+    xmax: float = 0.6,
+) -> InteractionLists:
+    """Sink-hierarchical mutual dual traversal emitting CSR lists.
+
+    Same MAC, same parameters and same per-sink-particle error budget
+    as :func:`traverse`; see the module docstring for the scheme.  The
+    frontier holds *unordered* cell pairs (a, b, image offset) with a
+    two-bit direction mask — bit 1 for "a sinks b", bit 2 for "b sinks
+    a" — so one geometric test (``mac_tests`` counts these) serves both
+    directions of a mirrored pair; a direction retires independently
+    when it is accepted or recorded as direct.  The effective distance
+    for a sink cell is the tighter of two conservative lower bounds on
+    the sink-particle-to-source distance: ``dist - b_max(sink)`` (the
+    leaf walk's bound) and the per-axis gap to the sink cell's cube.
+
+    The returned lists are sorted by sink leaf (``sink_leaves`` comes
+    back in SFC/particle order) with ``cell_indptr`` / ``leaf_indptr``
+    / ``ghost_indptr`` delimiting each leaf's segment.
+    """
+    restricted = sink_leaves is not None
+    if restricted:
+        sinks = np.asarray(sink_leaves, dtype=np.int64)
+    else:
+        sinks = tree.leaf_indices
+    # row universe in SFC (particle) order: evaluation output slices are
+    # then contiguous and ascending for SFC-contiguous shards
+    sinks = sinks[np.argsort(tree.cell_start[sinks], kind="stable")]
+    offsets = (
+        _image_offsets(tree.box, ws) if periodic else np.zeros((1, 3), dtype=np.float64)
+    )
+    n_off = len(offsets)
+    # index of each offset's mirror image (-off); home maps to itself
+    if n_off > 1:
+        key = {tuple(o): i for i, o in enumerate(np.round(offsets, 9).tolist())}
+        mirror = np.array(
+            [key[tuple(o)] for o in np.round(-offsets, 9).tolist()], dtype=np.int64
+        )
+    else:
+        mirror = np.zeros(1, dtype=np.int64)
+    home = 0  # _image_offsets puts the home image first
+    relevant = _sink_relevance(tree, sinks if restricted else None)
+
+    root = int(np.flatnonzero(tree.cell_level == 0)[0])
+    # seed one canonical entry per unordered (root, root image) pair:
+    # the home self-pair carries a single direction, each +/- image
+    # pair carries both
+    canon = np.flatnonzero(np.arange(n_off) <= mirror)
+    f_a = np.full(len(canon), root, dtype=np.int64)
+    f_b = np.full(len(canon), root, dtype=np.int64)
+    f_off = canon.astype(np.int64)
+    f_fl = np.where(mirror[canon] == canon, 1, 3).astype(np.int8)
+
+    # interior-sink accepts (need descendant expansion) and leaf-sink
+    # accepts (already at their row) are kept apart so CSR assembly
+    # only expands the minority interior stream
+    acc_sink, acc_src, acc_off = [], [], []
+    lacc_sink, lacc_src, lacc_off = [], [], []
+    dir_sink, dir_src, dir_off = [], [], []
+
+    cell_center = tree.cell_center
+    bmax = moms.bmax
+    r_crit = moms.r_crit
+    is_leaf = tree.is_leaf
+    first_child = tree.cell_first_child
+    nchildren = tree.cell_nchildren
+    half = tree.box / np.exp2(tree.cell_level + 1)  # cell half-side
+    rounds = 0
+    mac_tests = 0
+    frontier_peak = 0
+    inherited = 0
+    leaf_accepts = 0
+
+    def cube_gap(absd, cells):
+        g = np.maximum(absd - half[cells][:, None], 0.0)
+        return np.sqrt(np.einsum("ij,ij->i", g, g))
+
+    while len(f_a):
+        rounds += 1
+        mac_tests += len(f_a)
+        frontier_peak = max(frontier_peak, len(f_a))
+        bmax_a = bmax[f_a]
+        bmax_b = bmax[f_b]
+        d = cell_center[f_a] - (cell_center[f_b] + offsets[f_off])
+        dist = np.sqrt(np.einsum("ij,ij->i", d, d))
+        absd = np.abs(d)
+        bit1 = (f_fl & 1).astype(bool)
+        bit2 = (f_fl & 2).astype(bool)
+        # direction a<-b: d_eff lower-bounds the distance from any
+        # particle under sink a to source b's expansion center
+        d_eff1 = np.maximum(dist - bmax_a, cube_gap(absd, f_a))
+        acc1 = bit1 & (d_eff1 > r_crit[f_b]) & (bmax_b < xmax * d_eff1)
+        # direction b<-a: same separation, mirrored image offset
+        d_eff2 = np.maximum(dist - bmax_b, cube_gap(absd, f_b))
+        acc2 = bit2 & (d_eff2 > r_crit[f_a]) & (bmax_a < xmax * d_eff2)
+        leaf_a = is_leaf[f_a]
+        leaf_b = is_leaf[f_b]
+        both_leaf = leaf_a & leaf_b
+        dir1 = bit1 & ~acc1 & both_leaf
+        dir2 = bit2 & ~acc2 & both_leaf
+
+        if np.any(acc1):
+            int1 = acc1 & ~leaf_a
+            lf1 = acc1 & leaf_a
+            if np.any(int1):
+                acc_sink.append(f_a[int1])
+                acc_src.append(f_b[int1])
+                acc_off.append(f_off[int1])
+            if np.any(lf1):
+                lacc_sink.append(f_a[lf1])
+                lacc_src.append(f_b[lf1])
+                lacc_off.append(f_off[lf1])
+            inherited += int(np.count_nonzero(int1))
+            leaf_accepts += int(np.count_nonzero(lf1))
+        if np.any(acc2):
+            int2 = acc2 & ~leaf_b
+            lf2 = acc2 & leaf_b
+            if np.any(int2):
+                acc_sink.append(f_b[int2])
+                acc_src.append(f_a[int2])
+                acc_off.append(mirror[f_off[int2]])
+            if np.any(lf2):
+                lacc_sink.append(f_b[lf2])
+                lacc_src.append(f_a[lf2])
+                lacc_off.append(mirror[f_off[lf2]])
+            inherited += int(np.count_nonzero(int2))
+            leaf_accepts += int(np.count_nonzero(lf2))
+        if np.any(dir1):
+            dir_sink.append(f_a[dir1])
+            dir_src.append(f_b[dir1])
+            dir_off.append(f_off[dir1])
+        if np.any(dir2):
+            dir_sink.append(f_b[dir2])
+            dir_src.append(f_a[dir2])
+            dir_off.append(mirror[f_off[dir2]])
+
+        live1 = bit1 & ~acc1 & ~both_leaf
+        live2 = bit2 & ~acc2 & ~both_leaf
+        undecided = live1 | live2
+        if not np.any(undecided):
+            break
+        fl_live = (live1.astype(np.int8) + 2 * live2.astype(np.int8))[undecided]
+        ua = f_a[undecided]
+        ub = f_b[undecided]
+        uo = f_off[undecided]
+        u_leaf_a = leaf_a[undecided]
+        # the home self-pair splits into the unordered triangle of its
+        # children; every other pair splits its larger (internal) side
+        selfp = (ua == ub) & (uo == home)
+        split_b = ~selfp & (
+            u_leaf_a | (~leaf_b[undecided] & (bmax_b[undecided] >= bmax_a[undecided]))
+        )
+        split_a = ~selfp & ~split_b
+        parts_a, parts_b, parts_o, parts_f = [], [], [], []
+        if np.any(split_b):
+            pb = ub[split_b]
+            nch = nchildren[pb]
+            kids = expand_ranges(first_child[pb], nch)
+            ka = np.repeat(ua[split_b], nch)
+            ko = np.repeat(uo[split_b], nch)
+            kf = np.repeat(fl_live[split_b], nch)
+            # the split side's sink direction survives only into kids
+            # holding selected sink leaves
+            kf = (kf & 1) | np.where(relevant[kids], kf & 2, 0).astype(np.int8)
+            keep = kf != 0
+            parts_a.append(ka[keep])
+            parts_b.append(kids[keep])
+            parts_o.append(ko[keep])
+            parts_f.append(kf[keep])
+        if np.any(split_a):
+            pa = ua[split_a]
+            nch = nchildren[pa]
+            kids = expand_ranges(first_child[pa], nch)
+            kb = np.repeat(ub[split_a], nch)
+            ko = np.repeat(uo[split_a], nch)
+            kf = np.repeat(fl_live[split_a], nch)
+            kf = np.where(relevant[kids], kf & 1, 0).astype(np.int8) | (kf & 2)
+            keep = kf != 0
+            parts_a.append(kids[keep])
+            parts_b.append(kb[keep])
+            parts_o.append(ko[keep])
+            parts_f.append(kf[keep])
+        if np.any(selfp):
+            # unordered children pairs {k_i, k_j}, i <= j, of each
+            # self-pair cell; diagonals are new single-direction
+            # self-pairs, off-diagonals carry both directions
+            sa = ua[selfp]
+            nch_s = nchildren[sa]
+            for n in np.unique(nch_s):
+                grp = sa[nch_s == n]
+                iu, ju = np.triu_indices(int(n))
+                first = first_child[grp]
+                ka = (first[:, None] + iu[None, :]).ravel()
+                kb = (first[:, None] + ju[None, :]).ravel()
+                kf = (
+                    np.where(relevant[ka], 1, 0) | np.where(relevant[kb], 2, 0)
+                ).astype(np.int8)
+                kf = np.where(ka == kb, kf & 1, kf).astype(np.int8)
+                keep = kf != 0
+                parts_a.append(ka[keep])
+                parts_b.append(kb[keep])
+                parts_o.append(np.full(int(keep.sum()), home, dtype=np.int64))
+                parts_f.append(kf[keep])
+        if not parts_a:
+            break
+        f_a = np.concatenate(parts_a)
+        f_b = np.concatenate(parts_b)
+        f_off = np.concatenate(parts_o)
+        f_fl = np.concatenate(parts_f)
+
+    def cat(parts):
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+    a_sink, a_src, a_off = cat(acc_sink), cat(acc_src), cat(acc_off)
+    la_sink, la_src, la_off = cat(lacc_sink), cat(lacc_src), cat(lacc_off)
+    d_sink, d_src, d_off = cat(dir_sink), cat(dir_src), cat(dir_off)
+
+    # ----- inheritance pass: push interior-sink accepts to sink leaves --------
+    # A cell's particle range is contiguous and tiles exactly over its
+    # descendant leaves, so the selected leaves under an accepted sink
+    # cell are one searchsorted slice of the (SFC-ordered) row universe.
+    leaf_starts = tree.cell_start[sinks]
+    n_rows = len(sinks)
+
+    # narrow row keys unlock numpy's radix path for the stable sort
+    # (~5x over int64 merge sort); int32 covers any realistic leaf count
+    row_dtype = np.int16 if n_rows < np.iinfo(np.int16).max else np.int32
+
+    def rows_of_leaves(s):
+        return np.searchsorted(
+            leaf_starts, tree.cell_start[s], side="left"
+        ).astype(row_dtype)
+
+    def finalize(row, src, off):
+        order = np.argsort(row, kind="stable")
+        counts = np.bincount(row, minlength=n_rows)
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return np.repeat(sinks, counts), src[order], off[order], indptr
+
+    # cell family: expanded interior accepts first, then leaf accepts —
+    # a fixed rule, so restricted walks reproduce identical segments.
+    # Narrow dtypes before the big expansion: the inherited stream
+    # fans out ~10-20x, so src/off bytes dominate the assembly cost.
+    start_a = tree.cell_start[a_sink]
+    lo = np.searchsorted(leaf_starts, start_a, side="left")
+    hi = np.searchsorted(
+        leaf_starts, start_a + tree.cell_count[a_sink], side="left"
+    )
+    nd = hi - lo
+    row = np.concatenate(
+        [expand_ranges(lo, nd).astype(row_dtype), rows_of_leaves(la_sink)]
+    )
+    src = np.concatenate(
+        [np.repeat(a_src.astype(np.int32), nd), la_src.astype(np.int32)]
+    )
+    off = np.concatenate(
+        [np.repeat(a_off.astype(np.int16), nd), la_off.astype(np.int16)]
+    )
+    cs, cc, co, c_indptr = finalize(row, src, off)
+
+    ghosts = tree.cell_is_ghost[d_src] if len(d_src) else np.zeros(0, dtype=bool)
+    ls, lc, lo_, l_indptr = finalize(
+        rows_of_leaves(d_sink[~ghosts]), d_src[~ghosts], d_off[~ghosts]
+    )
+    gs, gc, go, g_indptr = finalize(
+        rows_of_leaves(d_sink[ghosts]), d_src[ghosts], d_off[ghosts]
+    )
+
+    return InteractionLists(
+        sink_leaves=sinks,
+        offsets=offsets,
+        cell_sink=cs,
+        cell_src=cc,
+        cell_off=co,
+        leaf_sink=ls,
+        leaf_src=lc,
+        leaf_off=lo_,
+        ghost_sink=gs,
+        ghost_src=gc,
+        ghost_off=go,
+        rounds=rounds,
+        cell_indptr=c_indptr,
+        leaf_indptr=l_indptr,
+        ghost_indptr=g_indptr,
+        mac_tests=mac_tests,
+        frontier_peak=frontier_peak,
+        inherited_accepts=inherited,
+        leaf_accepts=leaf_accepts,
+    )
+
+
+def traverse_lists(
+    tree: Tree,
+    moms: TreeMoments,
+    traversal: str = "hierarchical",
+    **kwargs,
+) -> InteractionLists:
+    """Dispatch to the requested walk ("hierarchical" or "leaf")."""
+    if traversal == "hierarchical":
+        return traverse_hierarchical(tree, moms, **kwargs)
+    if traversal == "leaf":
+        return traverse(tree, moms, **kwargs)
+    raise ValueError(f"unknown traversal kind {traversal!r}")

@@ -1,0 +1,265 @@
+"""Hierarchical (sink-cell) mutual traversal and CSR evaluation tests.
+
+Covers the completeness invariant (every sink particle sees every
+source mass exactly once per periodic image), leaf-walk agreement,
+CSR structural validity, restricted-walk identity (the property that
+makes sharded execution bit-identical), and chunk-size invariance of
+the segment-reduce evaluator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gravity import TreecodeConfig, TreecodeGravity, direct_accelerations
+from repro.gravity.treeforce import evaluate_forces
+from repro.tree import (
+    build_tree,
+    compute_moments,
+    traverse,
+    traverse_hierarchical,
+    traverse_lists,
+)
+from repro.tree.traversal import filter_csr_indptr
+from repro.util import expand_ranges
+
+
+def cloud(n=1500, seed=0, clustered=False):
+    rng = np.random.default_rng(seed)
+    if clustered:
+        c = rng.random((5, 3))
+        pos = (c[rng.integers(0, 5, n)] + 0.04 * rng.standard_normal((n, 3))) % 1.0
+    else:
+        pos = rng.random((n, 3))
+    return pos, np.full(n, 1.0 / n)
+
+
+def setup(n=1500, seed=0, background=False, clustered=False, nleaf=8, tol=1e-4):
+    pos, mass = cloud(n, seed=seed, clustered=clustered)
+    tree = build_tree(pos, mass, nleaf=nleaf, with_ghosts=background)
+    moms = compute_moments(
+        tree,
+        p=2,
+        tol=tol,
+        background=background,
+        mean_density=mass.sum() if background else None,
+    )
+    return tree, moms
+
+
+def coverage_counts(tree, inter):
+    """Per (sink particle, image offset): how many times each source
+    particle is covered by the union of cell + leaf lists.
+
+    Returns an array of shape (n_selected_leaves, n_offsets, N); the
+    completeness invariant is that every entry equals 1.
+    """
+    n = tree.n_particles
+    sinks = inter.sink_leaves
+    n_off = len(inter.offsets)
+    leaf_pos = {int(s): i for i, s in enumerate(sinks)}
+    cov = np.zeros((len(sinks), n_off, n), dtype=np.int64)
+    for fam_sink, fam_src, fam_off in (
+        (inter.cell_sink, inter.cell_src, inter.cell_off),
+        (inter.leaf_sink, inter.leaf_src, inter.leaf_off),
+    ):
+        for s, c, o in zip(fam_sink, fam_src, fam_off):
+            a = tree.cell_start[c]
+            cov[leaf_pos[int(s)], o, a : a + tree.cell_count[c]] += 1
+    return cov
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("periodic", [False, True])
+    @pytest.mark.parametrize("background", [False, True])
+    def test_every_source_exactly_once(self, periodic, background):
+        """Each sink leaf's cell+leaf lists tile the particle set
+        exactly once per periodic image — no source double-counted,
+        none missed, in every mode combination."""
+        tree, moms = setup(n=600, background=background)
+        inter = traverse_hierarchical(tree, moms, periodic=periodic, ws=1)
+        cov = coverage_counts(tree, inter)
+        assert np.all(cov == 1)
+
+    @pytest.mark.parametrize("kind", ["leaf", "hierarchical"])
+    def test_background_volume_tiling(self, kind):
+        """Background mode: per (sink leaf, image) the volumes of
+        accepted cells (cube subtraction inside their moments), direct
+        leaf sources and ghost entries (explicit prism terms) tile the
+        unit box exactly once — the invariant that makes background
+        subtraction exact.  The two walks partition the coverage
+        differently (a MAC-accepted ancestor absorbs its ghost
+        descendants) but both must tile."""
+        tree, moms = setup(n=600, background=True)
+        inter = traverse_lists(tree, moms, traversal=kind, periodic=True, ws=1)
+        sinks = (
+            inter.sink_leaves
+            if kind == "hierarchical"
+            else np.unique(
+                np.concatenate([inter.cell_sink, inter.leaf_sink])
+            )
+        )
+        pos_of = {int(s): i for i, s in enumerate(sinks)}
+        vol = np.zeros((len(sinks), len(inter.offsets)))
+        cell_vol = (0.5 ** tree.cell_level) ** 3
+        for fam_sink, fam_src, fam_off in (
+            (inter.cell_sink, inter.cell_src, inter.cell_off),
+            (inter.leaf_sink, inter.leaf_src, inter.leaf_off),
+            (inter.ghost_sink, inter.ghost_src, inter.ghost_off),
+        ):
+            np.add.at(
+                vol,
+                (
+                    np.array([pos_of[int(s)] for s in fam_sink], dtype=int),
+                    fam_off,
+                ),
+                cell_vol[fam_src],
+            )
+        assert np.allclose(vol, 1.0)
+
+
+class TestForceAgreement:
+    @pytest.mark.parametrize("periodic", [False, True])
+    def test_matches_leaf_walk_within_budget(self, periodic):
+        """Hierarchical and leaf walks accept different cell sets but
+        both honor the same per-particle error budget — forces agree
+        to within a few times errtol."""
+        tol = 1e-4
+        tree, moms = setup(n=1200, clustered=True, tol=tol, background=periodic)
+        acc = {}
+        for kind in ("leaf", "hierarchical"):
+            inter = traverse_lists(tree, moms, traversal=kind, periodic=periodic)
+            acc[kind] = evaluate_forces(tree, moms, inter).acc
+        scale = np.abs(acc["leaf"]).max()
+        diff = np.abs(acc["leaf"] - acc["hierarchical"]).max()
+        assert diff < 10 * tol * max(scale, 1.0)
+
+    def test_solver_against_direct(self):
+        """End-to-end solver accuracy with the hierarchical default."""
+        pos, mass = cloud(1024, seed=3, clustered=True)
+        cfg = TreecodeConfig(
+            p=4, errtol=1e-6, background=False, periodic=False, eps=0.02
+        )
+        res = TreecodeGravity(cfg).compute(pos, mass)
+        from repro.gravity import make_softening
+
+        ref = direct_accelerations(
+            pos, mass, softening=make_softening("dehnen_k1", 0.02)
+        )
+        err = np.linalg.norm(res.acc - ref, axis=1)
+        assert np.median(err) < 1e-4 * np.abs(ref).max()
+
+    def test_fewer_mac_tests_than_leaf_walk(self):
+        tree, moms = setup(n=4000, tol=1e-4, background=True)
+        h = traverse_hierarchical(tree, moms, periodic=True, ws=1)
+        l = traverse(tree, moms, periodic=True, ws=1)
+        assert h.mac_tests < l.mac_tests
+        assert h.inherited_accepts > 0
+        assert h.leaf_accepts > 0
+
+
+class TestCSRStructure:
+    def test_indptr_consistent(self):
+        tree, moms = setup(n=800, background=True)
+        inter = traverse_hierarchical(tree, moms, periodic=True, ws=1)
+        sinks = inter.sink_leaves
+        for name, arr, indptr in (
+            ("cell", inter.cell_sink, inter.cell_indptr),
+            ("leaf", inter.leaf_sink, inter.leaf_indptr),
+            ("ghost", inter.ghost_sink, inter.ghost_indptr),
+        ):
+            assert indptr is not None
+            assert len(indptr) == len(sinks) + 1
+            assert indptr[0] == 0 and indptr[-1] == len(arr)
+            assert np.all(np.diff(indptr) >= 0)
+            # rows grouped: entries in segment i all have sink sinks[i]
+            seg = np.repeat(np.arange(len(sinks)), np.diff(indptr))
+            assert np.array_equal(arr, sinks[seg]), name
+
+    def test_filter_csr_indptr(self):
+        indptr = np.array([0, 3, 3, 7, 8], dtype=np.int64)
+        keep = np.array([True, False, True, True, True, False, True, True])
+        out = filter_csr_indptr(indptr, keep)
+        assert np.array_equal(out, [0, 2, 2, 5, 6])
+        # filtering with all-True is the identity
+        assert np.array_equal(
+            filter_csr_indptr(indptr, np.ones(8, dtype=bool)), indptr
+        )
+
+    def test_sink_leaves_sfc_sorted(self):
+        tree, moms = setup(n=800)
+        inter = traverse_hierarchical(tree, moms)
+        starts = tree.cell_start[inter.sink_leaves]
+        assert np.all(np.diff(starts) > 0)
+        assert set(inter.sink_leaves.tolist()) == set(tree.leaf_indices.tolist())
+
+
+class TestRestrictedWalkIdentity:
+    def test_shard_segments_identical(self):
+        """Restricted walks replay the unrestricted walk's decisions:
+        per-sink-leaf CSR segments are identical in content AND order
+        for any SFC-contiguous sharding — the property that makes the
+        multiprocessing executor bit-identical to serial."""
+        tree, moms = setup(n=1500, clustered=True, background=True)
+        full = traverse_hierarchical(tree, moms, periodic=True, ws=1)
+        sinks = full.sink_leaves
+
+        def segments(inter):
+            out = {}
+            for fam, (src, off, indptr) in {
+                "cell": (inter.cell_src, inter.cell_off, inter.cell_indptr),
+                "leaf": (inter.leaf_src, inter.leaf_off, inter.leaf_indptr),
+                "ghost": (inter.ghost_src, inter.ghost_off, inter.ghost_indptr),
+            }.items():
+                for i, s in enumerate(inter.sink_leaves):
+                    a, b = indptr[i], indptr[i + 1]
+                    out[(fam, int(s))] = (src[a:b].tolist(), off[a:b].tolist())
+            return out
+
+        ref = segments(full)
+        merged = {}
+        for part in np.array_split(sinks, 3):
+            if len(part) == 0:
+                continue
+            shard = traverse_hierarchical(
+                tree, moms, periodic=True, ws=1, sink_leaves=part
+            )
+            merged.update(segments(shard))
+        assert merged == ref
+
+    def test_workers_bit_identical(self):
+        pos, mass = cloud(2000, seed=5)
+        ref = None
+        for workers in (0, 2):
+            cfg = TreecodeConfig(
+                periodic=True, errtol=1e-4, workers=workers
+            )
+            with TreecodeGravity(cfg) as solver:
+                res = solver.compute(pos, mass)
+            if ref is None:
+                ref = res
+            else:
+                assert np.array_equal(ref.acc, res.acc)
+                assert np.array_equal(ref.pot, res.pot)
+
+
+class TestChunkInvariance:
+    def test_csr_evaluator_chunk_sizes(self):
+        """Per-particle segment reduction makes results bit-identical
+        at any chunk size (chunks align to whole sink particles)."""
+        tree, moms = setup(n=900, background=True)
+        inter = traverse_hierarchical(tree, moms, periodic=True, ws=1)
+        ref = evaluate_forces(tree, moms, inter)
+        odd = evaluate_forces(
+            tree, moms, inter, cell_chunk=777, pp_chunk=1013
+        )
+        assert np.array_equal(ref.acc, odd.acc)
+        assert np.array_equal(ref.pot, odd.pot)
+        assert ref.stats["evaluator"] == "csr"
+
+    def test_counters_in_stats(self):
+        pos, mass = cloud(800)
+        cfg = TreecodeConfig(errtol=1e-4, background=False)
+        res = TreecodeGravity(cfg).compute(pos, mass)
+        assert res.stats["traversal"] == "hierarchical"
+        assert res.stats["mac_tests"] > 0
+        assert res.stats["frontier_peak"] > 0
