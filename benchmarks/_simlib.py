@@ -29,6 +29,52 @@ CACHE_DIR = Path(__file__).parent / "_cache"
 BENCH_N = int(os.environ.get("REPRO_BENCH_N", "12"))
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
+#: version of the shared receipt envelope written by :func:`emit_bench`
+BENCH_SCHEMA_VERSION = 1
+
+#: receipt fields that identify a bench configuration (the registry key)
+_BENCH_IDENT_FIELDS = ("bench", "type", "mode", "n_particles", "n_max", "errtol")
+
+
+def emit_bench(name: str, doc: dict, path) -> dict:
+    """Stamp and write one benchmark receipt; register the emission.
+
+    The single exit point for ``BENCH_*.json``: adds the shared
+    provenance envelope (schema version, host info, cpu count, git
+    commit, timestamp) to ``doc``, writes it to ``path``, and — when a
+    run observer is active (``REPRO_OBS_DIR``) — appends the emission
+    to the run registry keyed by a hash of the receipt's identifying
+    fields, so overwritten snapshots still accumulate a trajectory.
+    Returns the stamped document.
+    """
+    import platform
+    import socket
+    import time
+
+    from repro.diagnose.manifest import config_hash
+    from repro.observe import get_observer
+    from repro.observe.registry import git_commit
+
+    now = time.time()
+    doc = dict(doc)
+    doc.setdefault("bench", name)
+    doc["bench_schema"] = BENCH_SCHEMA_VERSION
+    doc["host"] = {
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+    doc["cpu_count"] = os.cpu_count()
+    doc["git_commit"] = git_commit()
+    doc["created_unix"] = now
+    doc["created"] = time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime(now))
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True, default=str) + "\n")
+    ident = {k: doc[k] for k in _BENCH_IDENT_FIELDS if k in doc}
+    get_observer().record_bench(doc, key=config_hash(ident))
+    return doc
+
 
 def config_key(cfg: SimulationConfig) -> str:
     payload = {

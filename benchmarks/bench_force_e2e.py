@@ -28,7 +28,6 @@ Run directly (``PYTHONPATH=src python benchmarks/bench_force_e2e.py``)
 or via pytest.
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -176,8 +175,9 @@ def run() -> dict:
 
 
 def test_force_e2e_receipt():
-    doc = run()
-    OUT_PATH.write_text(json.dumps(doc, indent=1, sort_keys=True))
+    from _simlib import emit_bench
+
+    doc = emit_bench("force_e2e", run(), OUT_PATH)
     print(f"wrote {OUT_PATH}")
     s = doc["summary"]
     assert s["mac_test_ratio"] >= doc["gates"]["mac_test_ratio"]["min"]

@@ -24,7 +24,6 @@ Run directly (``PYTHONPATH=src python benchmarks/bench_parallel_speedup.py``)
 or via pytest.
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -103,7 +102,9 @@ def run_curve() -> dict:
 
 
 def _report(result: dict) -> None:
-    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    from _simlib import emit_bench
+
+    result = emit_bench("parallel_speedup", result, OUT_PATH)
     print(
         f"\n=== Parallel speedup ({result['n_particles']} particles, "
         f"errtol {result['errtol']:g}, {result['cpu_count']} cpu) ==="

@@ -214,7 +214,54 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _gate_trend(args) -> int:
+    """Judge the newest registry record for a metric against the
+    trajectory of its predecessors (``gate --trend wall_per_step_s``)."""
+    import os
+
+    from ..observe import RunRegistry, trend_report
+
+    obs_dir = args.obs_dir or os.environ.get("REPRO_OBS_DIR") or ".repro_obs"
+    registry = RunRegistry(obs_dir)
+    report = trend_report(
+        registry, args.trend, kind=args.trend_kind,
+        window=args.trend_window,
+    )
+    verdict = report["verdict"]
+    rows = [
+        ((p["id"] or "?")[:13], p.get("git_commit") or "-", f"{p['value']:.6g}")
+        for p in report["series"][-(args.trend_window + 1):]
+    ]
+    if rows:
+        print(_table(f"Trend: {args.trend}", ["record", "commit", "value"], rows))
+    status = verdict.get("status", "?")
+    if verdict.get("regression"):
+        print(
+            f"\nGATE FAILED: {args.trend} = {verdict['value']:.6g} vs "
+            f"baseline {verdict['center']:.6g} "
+            f"(threshold {verdict['threshold']:.6g}, "
+            f"n={verdict['n_history']})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\ntrend gate passed: {args.trend} {status}")
+    return 0
+
+
 def _cmd_gate(args) -> int:
+    if args.trace is None:
+        if not args.trend:
+            print("gate: need a trace/receipt path or --trend METRIC",
+                  file=sys.stderr)
+            return 2
+        return _gate_trend(args)
+    rc = _gate_trace(args)
+    if rc == 0 and args.trend:
+        rc = _gate_trend(args)
+    return rc
+
+
+def _gate_trace(args) -> int:
     # benchmark receipts with embedded gates (e.g. BENCH_force.json)
     # are judged self-contained: summary vs. the receipt's own bounds
     try:
@@ -278,11 +325,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "gate",
-        help="fail on health events at a severity, or judge a benchmark "
-             "receipt (JSON with embedded 'gates') against its own bounds",
+        help="fail on health events at a severity, judge a benchmark "
+             "receipt (JSON with embedded 'gates') against its own bounds, "
+             "or judge a run-registry metric trend (--trend)",
     )
-    p.add_argument("trace")
+    p.add_argument("trace", nargs="?", default=None,
+                   help="trace/receipt path (optional with --trend)")
     p.add_argument("--severity", choices=SEVERITIES, default="error")
+    p.add_argument("--trend", metavar="METRIC", default=None,
+                   help="also gate this run-registry metric against its "
+                        "last-N trajectory (e.g. wall_per_step_s)")
+    p.add_argument("--obs-dir", default=None,
+                   help="observe registry dir (default: REPRO_OBS_DIR "
+                        "or .repro_obs)")
+    p.add_argument("--trend-kind", default=None,
+                   help="restrict the trend series to one record kind "
+                        "(simulation_run / pipeline_stage / bench)")
+    p.add_argument("--trend-window", type=int, default=5,
+                   help="baseline window: last N records before the "
+                        "newest (default 5)")
     p.set_defaults(func=_cmd_gate)
     return ap
 

@@ -88,6 +88,15 @@ class Metrics:
         with self._lock:
             return {k: v.total_s for k, v in self.timers.items()}
 
+    def top_timers(self, n: int = 10) -> list[tuple[str, float, int]]:
+        """The ``n`` hottest span paths as ``(path, total_s, calls)``,
+        largest total first — the registry keeps these per run so hot
+        paths stay queryable after the process is gone."""
+        with self._lock:
+            items = [(k, v.total_s, v.calls) for k, v in self.timers.items()]
+        items.sort(key=lambda kv: kv[1], reverse=True)
+        return items[:n]
+
     def merge(self, other: "Metrics") -> None:
         with other._lock:
             timers = {k: TimerStat(v.total_s, v.calls, v.min_s, v.max_s)

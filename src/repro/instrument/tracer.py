@@ -162,8 +162,12 @@ class Tracer:
             del stack[stack.index(span.path):]
         self.metrics.add_time(span.path, span.seconds)
         if self.emit_spans and self.sink is not None:
+            # t0/t1 are perf_counter stamps (arbitrary origin, shared
+            # within the process) so a trace supports lane/timeline
+            # reconstruction, not just per-path totals
             self.sink.emit(
-                {"type": "span", "path": span.path, "seconds": span.seconds}
+                {"type": "span", "path": span.path, "seconds": span.seconds,
+                 "t0": span._t0, "t1": span._t0 + span.seconds}
             )
 
     @property

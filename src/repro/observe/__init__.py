@@ -1,0 +1,61 @@
+"""Run observatory: persistent run history, deep profiling, worker
+timelines and perf-trend regression detection.
+
+The longitudinal layer over :mod:`repro.instrument` (which measures one
+run) and :mod:`repro.diagnose` (which judges one run): an append-only
+:class:`RunRegistry` records every ``Simulation.run``, pipeline stage
+and benchmark emission keyed by the provenance-manifest hash, so the
+repo accumulates a perf *trajectory* across commits instead of
+overwritten snapshots.  On top of the registry sit per-stage
+cProfile/memory profiling (:mod:`.profiler`), per-worker span-lane
+reconstruction with compute/idle/recovery attribution
+(:mod:`.timeline`), and a robust last-N baseline trend engine
+(:mod:`.trend`) driven by the ``repro-obs`` CLI and wired into
+``repro-diag gate --trend``.
+
+The default observer is :data:`NULL_OBSERVER` — disabled observation
+costs an attribute test per hook, mirroring the no-op tracer/health
+contracts.  Set ``REPRO_OBS_DIR`` (plus ``REPRO_OBS_PROFILE`` /
+``REPRO_OBS_MEMORY``) to opt a whole process in without touching call
+sites.
+"""
+
+from .observer import (
+    NULL_OBSERVER,
+    NullObserver,
+    ObserveConfig,
+    Observer,
+    get_observer,
+    measure_disabled_overhead,
+    set_observer,
+    use_observer,
+)
+from .profiler import NULL_PROFILER, NullProfiler, StageProfiler, top_functions
+from .registry import OBS_SCHEMA_VERSION, RunRegistry, metric_value
+from .timeline import analyze_timeline, lane_label, render_timeline
+from .trend import compare_records, detect_regression, robust_baseline, trend_report
+
+__all__ = [
+    "NULL_OBSERVER",
+    "NULL_PROFILER",
+    "OBS_SCHEMA_VERSION",
+    "NullObserver",
+    "NullProfiler",
+    "ObserveConfig",
+    "Observer",
+    "RunRegistry",
+    "StageProfiler",
+    "analyze_timeline",
+    "compare_records",
+    "detect_regression",
+    "get_observer",
+    "lane_label",
+    "measure_disabled_overhead",
+    "metric_value",
+    "render_timeline",
+    "robust_baseline",
+    "set_observer",
+    "top_functions",
+    "trend_report",
+    "use_observer",
+]

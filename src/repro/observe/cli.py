@@ -1,0 +1,290 @@
+"""``repro-obs``: query and judge the persistent run registry.
+
+* ``repro-obs list`` — the run/bench history, newest last;
+* ``repro-obs show <ref>`` — one record in full (ref = id prefix or
+  1-based index, negative from the end);
+* ``repro-obs timeline <ref>`` — ASCII worker lanes for a recorded
+  run's force calls plus the compute/idle/recovery attribution and
+  critical-path split;
+* ``repro-obs top <ref>`` — per-stage hot functions from a profiled
+  run;
+* ``repro-obs trend <metric>`` — fit the last-N baseline with a noise
+  band and judge the newest record (exit 2 on regression);
+* ``repro-obs compare <ref> <ref>`` — numeric metric diff between two
+  records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from ..instrument.report import _table
+from .registry import RunRegistry, metric_value
+from .timeline import analyze_timeline, render_timeline
+from .trend import (
+    DEFAULT_MIN_REL,
+    DEFAULT_SIGMAS,
+    DEFAULT_WINDOW,
+    compare_records,
+    trend_report,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def _registry(args) -> RunRegistry:
+    root = args.dir or os.environ.get("REPRO_OBS_DIR", "").strip() or ".repro_obs"
+    return RunRegistry(root)
+
+
+def _fmt_num(v) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        if v != 0 and (abs(v) < 1e-3 or abs(v) >= 1e5):
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+# ----- subcommands -------------------------------------------------------------
+def _cmd_list(args) -> int:
+    reg = _registry(args)
+    recs = reg.records(kind=args.kind, key=args.key)
+    if not recs:
+        print(f"(registry {reg.path} is empty)")
+        return 0
+    all_ids = {r.get("id"): i + 1 for i, r in enumerate(reg.records())}
+    if args.n:
+        recs = recs[-args.n:]
+    rows = []
+    for r in recs:
+        d = r.get("data") or {}
+        rows.append((
+            all_ids.get(r.get("id"), "-"),
+            str(r.get("id", ""))[:20],
+            r.get("kind", "?"),
+            (r.get("t") or "")[:19],
+            (r.get("key") or "")[:10],
+            (r.get("git_commit") or "")[:8],
+            _fmt_num(metric_value(r, "wall_s")),
+            _fmt_num(d.get("steps")),
+            "partial" if d.get("partial") else "ok",
+        ))
+    print(_table(
+        f"Registry {reg.path}",
+        ["#", "id", "kind", "t", "key", "commit", "wall_s", "steps", "state"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_show(args) -> int:
+    reg = _registry(args)
+    rec = dict(reg.get(args.ref))
+    data = dict(rec.get("data") or {})
+    tl = data.get("timeline")
+    if isinstance(tl, list) and tl and not args.full:
+        data["timeline"] = f"({len(tl)} force-call event groups; " \
+                           f"see `repro-obs timeline {rec.get('id')}`)"
+    rec["data"] = data
+    print(json.dumps(rec, indent=1, sort_keys=True, default=str))
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    reg = _registry(args)
+    rec = reg.get(args.ref)
+    calls = (rec.get("data") or {}).get("timeline") or []
+    if not calls:
+        print("record carries no shard timeline (serial run, or workers=0)",
+              file=sys.stderr)
+        return 1
+    idx = args.call if args.call is not None else len(calls)
+    if not 1 <= idx <= len(calls):
+        print(f"--call must be in 1..{len(calls)}", file=sys.stderr)
+        return 1
+    print(render_timeline(calls[idx - 1], width=args.width))
+    summary = analyze_timeline(calls)
+    rows = [
+        (lab, lane["shards"], lane["compute_s"], lane["recovery_s"],
+         lane["idle_s"], lane["traverse_s"], lane["evaluate_s"])
+        for lab, lane in sorted(summary["lanes"].items())
+    ]
+    print()
+    print(_table(
+        f"Lane attribution over {summary['calls']} force call(s), "
+        f"window {summary['wall_s']:.3f}s, imbalance {summary['imbalance']:.1%}",
+        ["lane", "shards", "compute_s", "recovery_s", "idle_s",
+         "traverse_s", "evaluate_s"],
+        rows,
+    ))
+    crit = summary["critical"]
+    if crit:
+        total = sum(crit.values()) or 1.0
+        parts = ", ".join(
+            f"{lab} {sec / total:.0%}" for lab, sec in
+            sorted(crit.items(), key=lambda kv: -kv[1])
+        )
+        print(f"\ncritical path (lane closing each call): {parts}")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    reg = _registry(args)
+    rec = reg.get(args.ref)
+    profile = (rec.get("data") or {}).get("profile") or {}
+    stages = profile.get("stages") or {}
+    if not stages:
+        print("record carries no profile (run with REPRO_OBS_PROFILE=1 or "
+              "ObserveConfig(profile=True))", file=sys.stderr)
+        return 1
+    for name, st in stages.items():
+        rows = [
+            (h["function"], h["where"], h["calls"],
+             _fmt_num(h["self_s"]), _fmt_num(h["cum_s"]))
+            for h in (st.get("hot") or [])[:args.n]
+        ]
+        print(_table(
+            f"Hot functions: stage {name} "
+            f"({st.get('seconds', 0.0):.3f}s over {st.get('calls', 0)} entries)",
+            ["function", "where", "calls", "self_s", "cum_s"],
+            rows,
+        ))
+        print()
+    mem = profile.get("memory")
+    if mem:
+        print(_table("Memory high-water", ["metric", "value"],
+                     sorted(mem.items())))
+    return 0
+
+
+def _cmd_trend(args) -> int:
+    reg = _registry(args)
+    rep = trend_report(
+        reg, args.metric, kind=args.kind, key=args.key,
+        window=args.window, sigmas=args.sigmas, min_rel=args.min_rel,
+        direction=args.direction,
+    )
+    rows = [
+        (p["id"][:20] if p["id"] else "-", (p["t"] or "")[:19],
+         p["git_commit"] or "-", _fmt_num(p["value"]))
+        for p in rep["series"][-(args.window + 1):]
+    ]
+    print(_table(f"Trend: {args.metric}" + (f" [{args.kind}]" if args.kind else ""),
+                 ["id", "t", "commit", "value"], rows))
+    v = rep["verdict"]
+    if v["status"] in ("no-data", "insufficient-history"):
+        print(f"\n{v['status']}: {v.get('n_history', 0)} comparable run(s); "
+              "nothing to judge")
+        return 0
+    print(
+        f"\nbaseline (last {v['n_history']}): center {_fmt_num(v['center'])}, "
+        f"noise band ±{_fmt_num(v['band'])} -> threshold {_fmt_num(v['threshold'])}"
+    )
+    if v["regression"]:
+        print(
+            f"REGRESSION: {args.metric} = {_fmt_num(v['value'])} "
+            f"({v['ratio']:.2f}x baseline)", file=sys.stderr,
+        )
+        return 2
+    print(f"ok: {args.metric} = {_fmt_num(v['value'])} "
+          f"({v['ratio']:.2f}x baseline)")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    reg = _registry(args)
+    a, b = reg.get(args.ref_a), reg.get(args.ref_b)
+    rows = []
+    for name, va, vb, ratio in compare_records(a, b):
+        if args.filter and args.filter not in name:
+            continue
+        rows.append((name, _fmt_num(va), _fmt_num(vb),
+                     "-" if ratio is None else f"{ratio:.3f}x"))
+    if not rows:
+        print("(no shared numeric metrics)")
+        return 0
+    print(_table(
+        f"Compare {a.get('id')} ({(a.get('t') or '')[:19]}) -> "
+        f"{b.get('id')} ({(b.get('t') or '')[:19]})",
+        ["metric", "a", "b", "b/a"], rows,
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Query and judge the persistent run/bench registry.",
+    )
+    ap.add_argument("--dir", default=None,
+                    help="registry root (default: $REPRO_OBS_DIR or .repro_obs)")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="run/bench history, newest last")
+    p.add_argument("--kind", default=None,
+                   help="filter: simulation_run / pipeline_stage / bench")
+    p.add_argument("--key", default=None, help="filter by config hash")
+    p.add_argument("-n", type=int, default=None, help="newest N only")
+    p.set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("show", help="one record in full")
+    p.add_argument("ref", help="record id prefix or 1-based index (-1 = newest)")
+    p.add_argument("--full", action="store_true",
+                   help="include the raw per-shard timeline events")
+    p.set_defaults(func=_cmd_show)
+
+    p = sub.add_parser("timeline", help="worker lanes + critical path for a run")
+    p.add_argument("ref")
+    p.add_argument("--call", type=int, default=None,
+                   help="which force call to draw (default: the last)")
+    p.add_argument("--width", type=int, default=64)
+    p.set_defaults(func=_cmd_timeline)
+
+    p = sub.add_parser("top", help="hot functions from a profiled run")
+    p.add_argument("ref")
+    p.add_argument("-n", type=int, default=15)
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser("trend", help="fit last-N baseline, judge newest record")
+    p.add_argument("metric", help="e.g. wall_s, wall_per_step_s, "
+                                  "run_totals.interactions_per_particle")
+    p.add_argument("--kind", default=None)
+    p.add_argument("--key", default=None)
+    p.add_argument("--window", type=int, default=DEFAULT_WINDOW)
+    p.add_argument("--sigmas", type=float, default=DEFAULT_SIGMAS)
+    p.add_argument("--min-rel", type=float, default=DEFAULT_MIN_REL)
+    p.add_argument("--direction", choices=("max", "min"), default="max",
+                   help="max: larger is worse (wall); min: smaller is worse")
+    p.set_defaults(func=_cmd_trend)
+
+    p = sub.add_parser("compare", help="numeric diff between two records")
+    p.add_argument("ref_a")
+    p.add_argument("ref_b")
+    p.add_argument("--filter", default=None, help="substring metric filter")
+    p.set_defaults(func=_cmd_compare)
+    return ap
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except LookupError as exc:
+        print(f"repro-obs: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away; exit quietly
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -197,6 +197,7 @@ def _run_shard(state: _WorkerState, sinks, s0: int, s1: int):
     from ..tree.traversal import traverse_lists
 
     task = state.task
+    t0_mono = time.monotonic()
     t0 = time.perf_counter()
     inter = traverse_lists(
         state.tree,
@@ -253,6 +254,11 @@ def _run_shard(state: _WorkerState, sinks, s0: int, s1: int):
         + stats.get("prism_interactions", 0)
     )
     spans = {
+        # CLOCK_MONOTONIC is system-wide on the platforms the pool runs
+        # on, so worker-side stamps are comparable across processes —
+        # what the observe timeline needs to draw per-worker lanes
+        "t0": t0_mono,
+        "t1": t0_mono + (t2 - t0),
         "timers": {
             "executor/traverse": _timer(t1 - t0),
             "executor/evaluate": _timer(t2 - t1),
@@ -585,6 +591,8 @@ class ForceExecutor:
         def finish_local(sid: int) -> None:
             sinks, s0, s1 = pending.pop(sid)
             st, sp = self._run_local(fallback, sinks, s0, s1)
+            sp["local"] = True  # timeline: a parent-lane recovery span
+            sp["attempt"] = attempts[sid]
             shard_stats[sid] = st
             shard_spans[sid] = (0, sp, sp["timers"]["executor/shard"]["total_s"])
 
@@ -676,6 +684,7 @@ class ForceExecutor:
             last_progress = time.monotonic()
             if kind == "ok":
                 pending.pop(sid)
+                spans["attempt"] = attempts[sid]
                 shard_stats[sid] = payload
                 shard_spans[sid] = (
                     wid, spans, spans["timers"]["executor/shard"]["total_s"]
@@ -739,18 +748,40 @@ class ForceExecutor:
         shard_seconds = [0.0] * len(shard_spans)
         traverse_s = evaluate_s = 0.0
         metrics = getattr(tr, "metrics", None)
+        events = []
+        t_origin = min(
+            (spans["t0"] for _, spans, _ in shard_spans.values() if "t0" in spans),
+            default=0.0,
+        )
         for sid, (wid, spans, shard_s) in shard_spans.items():
             busy[wid] += shard_s
             shard_seconds[sid] = shard_s
             traverse_s += spans["timers"]["executor/traverse"]["total_s"]
             evaluate_s += spans["timers"]["executor/evaluate"]["total_s"]
+            if "t0" in spans:
+                # one timeline event per shard, offsets relative to the
+                # call's first shard start (repro-obs timeline input)
+                events.append({
+                    "shard": sid,
+                    "worker": wid,
+                    "t0": round(spans["t0"] - t_origin, 6),
+                    "t1": round(spans["t1"] - t_origin, 6),
+                    "traverse_s": round(
+                        spans["timers"]["executor/traverse"]["total_s"], 6),
+                    "evaluate_s": round(
+                        spans["timers"]["executor/evaluate"]["total_s"], 6),
+                    "attempt": int(spans.get("attempt", 0)),
+                    "local": bool(spans.get("local", False)),
+                })
             if metrics is not None:
                 metrics.merge_dict(spans)
+        events.sort(key=lambda e: (e["t0"], e["shard"]))
         mean_busy = float(busy.mean()) if self.workers else 0.0
         stats["executor"] = {
             "workers": self.workers,
             "n_shards": len(shard_spans),
             "shard_seconds": shard_seconds,
+            "shard_events": events,
             "worker_busy_s": busy.tolist(),
             "load_imbalance": float(busy.max() / mean_busy - 1.0)
             if mean_busy > 0

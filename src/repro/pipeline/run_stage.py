@@ -11,12 +11,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
+import sys
+import time
 from pathlib import Path
 
 import numpy as np
 
 from ..instrument import Tracer, get_tracer, use_tracer
+from ..observe import get_observer
 
 __all__ = ["run_stage", "main"]
 
@@ -34,6 +38,65 @@ def _default_workers() -> int:
 def _default_health() -> bool:
     """Health monitoring from the environment (off unless REPRO_HEALTH)."""
     return os.environ.get("REPRO_HEALTH", "").strip().lower() in ("1", "true", "on", "yes")
+
+
+class _ProgressLine:
+    """Live one-line progress for the evolve stage.
+
+    Repaints one carriage-returned status line per completed step:
+    step number, scale factor, the step-wall EWMA, an ETA extrapolated
+    from it (remaining ln-a over the current dlna), and the worst
+    health severity seen so far.  Only constructed for a TTY (or when
+    ``REPRO_PROGRESS=1`` forces it), so batch logs stay clean.
+    """
+
+    #: EWMA weight of the newest step wall time
+    ALPHA = 0.3
+
+    def __init__(self, stream, a_final: float):
+        self.stream = stream
+        self.a_final = float(a_final)
+        self.ewma: float | None = None
+        self._wrote = False
+
+    def __call__(self, sim, rec) -> None:
+        w = float(rec.wall)
+        self.ewma = w if self.ewma is None else (
+            self.ALPHA * w + (1.0 - self.ALPHA) * self.ewma
+        )
+        steps_left = 0.0
+        if rec.dlna > 0 and rec.a < self.a_final:
+            steps_left = math.log(self.a_final / rec.a) / rec.dlna
+        severity = "-"
+        if getattr(sim.health, "enabled", False):
+            seen = getattr(sim.health, "events_seen", {})
+            severity = ("error" if seen.get("error") else
+                        "warn" if seen.get("warn") else "ok")
+        self.stream.write(
+            f"\r[evolve] step {sim.steps_completed}  a={rec.a:.4f}  "
+            f"{w:.2f}s/step (ewma {self.ewma:.2f})  "
+            f"eta ~{steps_left * self.ewma:.0f}s  health={severity}\x1b[K"
+        )
+        self.stream.flush()
+        self._wrote = True
+
+    def close(self) -> None:
+        if self._wrote:
+            self.stream.write("\n")
+            self.stream.flush()
+
+
+def _make_progress(a_final: float) -> _ProgressLine | None:
+    """A progress line when stderr is a TTY; ``REPRO_PROGRESS`` (1/0)
+    overrides the detection either way."""
+    env = os.environ.get("REPRO_PROGRESS", "").strip().lower()
+    if env in ("0", "off", "false", "no"):
+        return None
+    stream = sys.stderr
+    forced = env in ("1", "on", "true", "yes")
+    if forced or (hasattr(stream, "isatty") and stream.isatty()):
+        return _ProgressLine(stream, a_final)
+    return None
 
 
 def run_stage(config_path, workdir=None, tracer=None, workers=None, health=None,
@@ -78,6 +141,7 @@ def run_stage(config_path, workdir=None, tracer=None, workers=None, health=None,
         raise ValueError(f"unknown stage {stage!r} in {config_path}")
     tr = tracer if tracer is not None else get_tracer()
     # install for the duration so the driver/solver underneath see it too
+    t_start = time.perf_counter()
     with use_tracer(tr), tr.span(f"pipeline.{stage}") as sp:
         if cfg["health"]:
             from ..diagnose import write_manifest
@@ -91,10 +155,23 @@ def run_stage(config_path, workdir=None, tracer=None, workers=None, health=None,
         summary = fn(cfg, workdir)
         if cfg["health"]:
             summary["manifest"] = str(manifest_path)
+    wall = time.perf_counter() - t_start
     if tr.enabled:
         summary["wall_s"] = round(sp.seconds, 6)
         tr.count(f"pipeline.{stage}.runs")
         tr.emit({"type": "pipeline_stage", **summary})
+    obs = get_observer()
+    if obs.enabled:
+        from ..diagnose.manifest import config_hash
+
+        key = config_hash(cfg)
+        obs.record_stage(
+            {"stage": stage, "config": str(config_path),
+             "config_sha256": key, "wall_s": round(wall, 6),
+             "workers": int(cfg.get("workers") or 0),
+             "summary": summary},
+            key=key,
+        )
     print(json.dumps(summary))
     return summary
 
@@ -207,21 +284,26 @@ def _stage_evolve(cfg, workdir):
     snapshots = sorted(cfg.get("snapshots_a", [cfg["a_final"]]))
     written = []
     skipped = []
+    progress = _make_progress(snapshots[-1])
     with sim:
-        for a_snap in snapshots:
-            if a_snap <= sim.particles.a * (1 + 1e-12):
-                # a resumed run restarts past this snapshot; the file
-                # was written before the interruption
-                skipped.append(f"{a_snap:.4f}")
-                continue
-            sim.config = dataclasses.replace(sim.config, a_final=a_snap)
-            state = sim.run(checkpointer=checkpointer)
-            out = workdir / f"{cfg['snapshot_base']}_a{a_snap:.4f}.sdf"
-            save_checkpoint(
-                out, state, params=probe, box_mpc_h=box,
-                git_tag=cfg.get("code_version"),
-            )
-            written.append(str(out))
+        try:
+            for a_snap in snapshots:
+                if a_snap <= sim.particles.a * (1 + 1e-12):
+                    # a resumed run restarts past this snapshot; the file
+                    # was written before the interruption
+                    skipped.append(f"{a_snap:.4f}")
+                    continue
+                sim.config = dataclasses.replace(sim.config, a_final=a_snap)
+                state = sim.run(callback=progress, checkpointer=checkpointer)
+                out = workdir / f"{cfg['snapshot_base']}_a{a_snap:.4f}.sdf"
+                save_checkpoint(
+                    out, state, params=probe, box_mpc_h=box,
+                    git_tag=cfg.get("code_version"),
+                )
+                written.append(str(out))
+        finally:
+            if progress is not None:
+                progress.close()
     summary = {"stage": "evolve", "steps": len(sim.history), "snapshots": written}
     if resumed_from:
         summary["resumed_from"] = resumed_from

@@ -33,6 +33,7 @@ from ..cosmology import Background, CosmologyParams, PLANCK2013
 from ..gravity import TreecodeConfig, TreecodeGravity
 from ..gravity.pm import TreePMConfig, TreePMGravity
 from ..instrument import JsonlSink, get_tracer
+from ..observe import get_observer
 from .ic import ICConfig, generate_ic
 from .integrator import LeapfrogIntegrator, StepController
 from .particles import ParticleSet
@@ -175,6 +176,10 @@ class Simulation:
         )
         self.history: list[StepRecord] = []
         self.run_totals: dict = {}
+        #: per-force-call shard timeline groups from sharded runs
+        #: (capped; feeds the observe worker-timeline analyzer)
+        self.shard_timeline: list[dict] = []
+        self._force_calls = 0
         #: total completed steps across resumes (checkpoint numbering)
         self.steps_completed = 0
         #: path this simulation was resumed from, if any
@@ -229,11 +234,21 @@ class Simulation:
             raise ValueError(f"unknown engine {c.engine!r}")
         self.last_stats: dict = {}
 
+    _TIMELINE_CAP = 512
+
     def _force(self, ps: ParticleSet) -> np.ndarray:
         tr = self.tracer if self.tracer is not None else get_tracer()
         res = self._solver.compute(ps.pos, ps.mass, tracer=tr)
         self.last_stats = res.stats
         self._last_pot = res.pot
+        self._force_calls += 1
+        ex = res.stats.get("executor")
+        if ex is not None and ex.get("shard_events"):
+            if len(self.shard_timeline) >= self._TIMELINE_CAP:
+                del self.shard_timeline[0]
+            self.shard_timeline.append(
+                {"call": self._force_calls, "events": ex["shard_events"]}
+            )
         return res.acc
 
     def close(self) -> None:
@@ -384,6 +399,79 @@ class Simulation:
         store = CheckpointStore(c.checkpoint_dir, keep=c.checkpoint_keep)
         return sched, store
 
+    # ----- run observatory ----------------------------------------------------------
+    def _record_observation(self, obs, prof=None, tracer=None) -> None:
+        """Append this run to the observatory registry (never raises).
+
+        One record per :meth:`run`, keyed by the provenance config hash
+        (the same sha256 the PR 3 manifests pin), carrying run totals,
+        summed per-stage force timings, health event counts, the
+        capped per-call shard timeline with its worker attribution,
+        and — when deep profiling is on — the hot-function extract.
+        """
+        try:
+            from ..diagnose.manifest import config_hash
+
+            c = self.config
+            totals = dict(self.run_totals)
+            steps = int(totals.get("steps") or 0)
+            stage_totals: dict[str, float] = {}
+            for rec in self.history:
+                for name, sec in (rec.stage_seconds or {}).items():
+                    stage_totals[name] = stage_totals.get(name, 0.0) + float(sec)
+            payload: dict = {
+                "config_sha256": config_hash(c),
+                "engine": c.engine,
+                "n_particles": c.n_particles,
+                "workers": c.workers,
+                "errtol": c.errtol,
+                "a_final": float(self.particles.a),
+                "steps": steps,
+                "wall_s": totals.get("wall_s"),
+                "interactions_per_particle": totals.get(
+                    "interactions_per_particle"
+                ),
+                "run_totals": totals,
+                "stage_seconds": {
+                    k: round(v, 6) for k, v in stage_totals.items()
+                },
+            }
+            if steps:
+                payload["wall_per_step_s"] = (
+                    float(totals.get("step_wall_s", 0.0)) / steps
+                )
+            if self.resumed_from:
+                payload["resumed_from"] = self.resumed_from
+            health = totals.get("health")
+            if health:
+                payload["health_events"] = health.get("events", {})
+            if totals.get("partial"):
+                payload["partial"] = True
+                payload["error"] = totals.get("error")
+            if self.shard_timeline:
+                from ..observe import analyze_timeline
+
+                cap = getattr(
+                    getattr(obs, "config", None), "timeline_calls", 40
+                )
+                timeline = self.shard_timeline[-cap:]
+                payload["timeline"] = timeline
+                payload["worker_summary"] = analyze_timeline(timeline)
+            if prof is not None:
+                profile = prof.results()
+                if profile:
+                    payload["profile"] = profile
+            if tracer is not None and getattr(tracer, "enabled", False):
+                metrics = getattr(tracer, "metrics", None)
+                if metrics is not None:
+                    payload["top_spans"] = [
+                        {"path": p, "total_s": round(s, 6), "calls": n}
+                        for p, s, n in metrics.top_timers(12)
+                    ]
+            obs.record_run(payload, key=payload["config_sha256"])
+        except Exception:
+            pass
+
     # ----- energy diagnostics -----------------------------------------------------
     def _energies(self, ps: ParticleSet, a: float):
         t = ps.kinetic_energy()  # T = sum m v_pec^2/2, v_pec = p/a_mom
@@ -432,6 +520,11 @@ class Simulation:
         c = self.config
         ps = self.particles
         tr = self.tracer if self.tracer is not None else get_tracer()
+        # run observatory: NULL_OBSERVER/NULL_PROFILER when off — one
+        # attribute test plus a no-op context per stage, nothing else
+        obs = get_observer()
+        prof = obs.profiler()
+        prof.start()
         sink = None
         own_sink = False
         if jsonl is not None:
@@ -463,7 +556,7 @@ class Simulation:
         first_step = len(self.history)
         t_run0 = time.perf_counter()
         try:
-            with tr.span("init_force"):
+            with prof.stage("init_force"), tr.span("init_force"):
                 acc = self._force(ps)
             init_wall = time.perf_counter() - t_run0
             init_ipp = self.last_stats.get("interactions_per_particle", 0.0)
@@ -483,7 +576,7 @@ class Simulation:
                 ckpt_sched.start(time.perf_counter())
             while ps.a < c.a_final * (1 - 1e-12) and steps < max_steps:
                 t0 = time.perf_counter()
-                with tr.span("step"):
+                with prof.stage("step"), tr.span("step"):
                     if c.adaptive:
                         dlna = self.controller.choose(c.cosmology, ps, acc, ps.a)
                     else:
@@ -546,6 +639,9 @@ class Simulation:
             if self.health.enabled:
                 self.run_totals["health"] = self.health.summary()
             emit({"type": "run_totals", **self.run_totals})
+            prof.stop()
+            if obs.enabled:
+                self._record_observation(obs, prof, tr)
         except BaseException as exc:
             # a crashed run still leaves a usable diagnostics tail:
             # partial totals say how far it got before dying
@@ -568,6 +664,10 @@ class Simulation:
                 emit({"type": "run_totals", **self.run_totals})
             except Exception:
                 pass
+            # a crashed run is exactly the one the trajectory must keep
+            prof.stop()
+            if obs.enabled:
+                self._record_observation(obs, prof, tr)
             raise
         finally:
             if sink is not None:

@@ -1,0 +1,504 @@
+"""Tests for the run observatory: registry, profiler, timelines, trends.
+
+Covers the ISSUE acceptance points: registry round-trip and query API,
+the zero-cost disabled-observer contract, worker-timeline
+reconstruction from a real ``workers=2`` run, and the trend engine
+flagging a synthetic 2x slowdown while staying quiet on noise-level
+jitter.
+"""
+
+import io
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.diagnose.manifest import config_hash
+from repro.observe import (
+    NULL_OBSERVER,
+    NULL_PROFILER,
+    ObserveConfig,
+    Observer,
+    RunRegistry,
+    StageProfiler,
+    analyze_timeline,
+    detect_regression,
+    get_observer,
+    measure_disabled_overhead,
+    metric_value,
+    render_timeline,
+    robust_baseline,
+    trend_report,
+    use_observer,
+)
+from repro.observe.cli import main as obs_main
+from repro.observe.registry import KIND_RUN
+from repro.simulation import Simulation, SimulationConfig
+
+
+def short_config(**kw):
+    base = dict(
+        n_per_dim=8,
+        box_mpc_h=50.0,
+        a_init=0.1,
+        a_final=0.14,
+        errtol=1e-3,
+        p=2,
+        dlna_max=0.125,
+        max_refine=1,
+        seed=2,
+        track_energy=True,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+# ----- registry ----------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_round_trip_and_query(self, tmp_path):
+        reg = RunRegistry(tmp_path / "obs")
+        reg.record("bench", {"wall_s": 1.5}, key="k1")
+        reg.record("simulation_run", {"wall_s": 2.0, "steps": 3}, key="k2")
+        reg.record("simulation_run", {"wall_s": 2.5, "steps": 4}, key="k2")
+
+        assert len(reg.records()) == 3
+        assert [r["data"]["wall_s"] for r in reg.records(kind="simulation_run")] == [2.0, 2.5]
+        assert len(reg.records(key="k2")) == 2
+        assert reg.last(kind="bench")["data"]["wall_s"] == 1.5
+        assert reg.records(kind="simulation_run", limit=1)[0]["data"]["steps"] == 4
+
+        rec = reg.last()
+        assert rec["obs_schema"] == 1
+        assert rec["kind"] == "simulation_run"
+        assert rec["key"] == "k2"
+        assert rec["cpu_count"] >= 1
+        assert rec["hostname"]
+        assert "t" in rec and "t_unix" in rec
+
+    def test_get_by_index_and_prefix(self, tmp_path):
+        reg = RunRegistry(tmp_path)
+        a = reg.record("bench", {"v": 1})
+        b = reg.record("bench", {"v": 2})
+        assert reg.get(1)["data"]["v"] == 1
+        assert reg.get(-1)["data"]["v"] == 2
+        assert reg.get(a["id"])["data"]["v"] == 1
+        assert reg.get(b["id"][:20])["data"]["v"] == 2
+        with pytest.raises(LookupError):
+            reg.get(0)
+        with pytest.raises(LookupError):
+            reg.get(99)
+        with pytest.raises(LookupError):
+            reg.get("zzz-no-such-prefix")
+
+    def test_torn_tail_line_skipped(self, tmp_path):
+        reg = RunRegistry(tmp_path)
+        reg.record("bench", {"v": 1})
+        with open(reg.path, "a") as fh:
+            fh.write('{"kind": "bench", "data": {"v":')  # crashed writer
+        assert len(reg.records()) == 1
+        reg.record("bench", {"v": 2})
+        # the torn line is skipped and terminated: later appends survive
+        assert [r["data"]["v"] for r in reg.records()] == [1, 2]
+
+    def test_metric_value_resolution(self):
+        rec = {"kind": "simulation_run", "cpu_count": 8,
+               "data": {"wall_s": 1.5, "run_totals": {"steps": 3},
+                        "partial": True}}
+        assert metric_value(rec, "wall_s") == 1.5
+        assert metric_value(rec, "run_totals.steps") == 3.0
+        assert metric_value(rec, "cpu_count") == 8.0  # envelope fallback
+        assert metric_value(rec, "partial") is None  # bools are not numbers
+        assert metric_value(rec, "missing.metric") is None
+
+    def test_series(self, tmp_path):
+        reg = RunRegistry(tmp_path)
+        for w in (1.0, 2.0, 3.0):
+            reg.record("bench", {"wall_s": w})
+        reg.record("bench", {"other": 1})  # no metric: excluded
+        vals = [v for _, v in reg.series("wall_s")]
+        assert vals == [1.0, 2.0, 3.0]
+
+
+# ----- zero-cost disabled contract ---------------------------------------------
+
+
+class TestDisabledContract:
+    def test_null_observer_is_inert(self):
+        assert NULL_OBSERVER.enabled is False
+        assert NULL_OBSERVER.record_run({"x": 1}) is None
+        assert NULL_OBSERVER.profiler() is NULL_PROFILER
+        assert NULL_PROFILER.results() is None
+        # the no-op stage context is one shared object
+        assert NULL_PROFILER.stage("a") is NULL_PROFILER.stage("b")
+
+    def test_use_observer_restores_previous(self, tmp_path):
+        before = get_observer()
+        with use_observer(Observer(tmp_path)) as obs:
+            assert get_observer() is obs
+            assert obs.enabled
+        assert get_observer() is before
+
+    def test_disabled_overhead_is_negligible(self):
+        per_iter = measure_disabled_overhead(iters=20_000)
+        # generous absolute bound: even the slowest CI box does the
+        # disabled hooks in well under 20 microseconds; a real step is
+        # tens of milliseconds, so this is far below the 1% budget
+        assert per_iter < 20e-6
+
+
+# ----- profiler ----------------------------------------------------------------
+
+
+def _burn(n: int = 20_000) -> float:
+    return sum(i * i for i in range(n)) / n
+
+
+class TestStageProfiler:
+    def test_hot_functions_attributed(self):
+        prof = StageProfiler(cprofile=True, top_n=5)
+        prof.start()
+        with prof.stage("step"):
+            _burn()
+        with prof.stage("step"):
+            _burn()
+        prof.stop()
+        res = prof.results()
+        assert res["stages"]["step"]["calls"] == 2
+        assert res["stages"]["step"]["seconds"] > 0
+        hot = res["stages"]["step"]["hot"]
+        assert hot and len(hot) <= 5
+        assert any("_burn" in h["function"] for h in hot)
+        assert all({"function", "where", "calls", "self_s", "cum_s"} <= set(h)
+                   for h in hot)
+
+    def test_nested_stages_do_not_double_enable(self):
+        prof = StageProfiler(cprofile=True)
+        with prof.stage("outer"):
+            with prof.stage("inner"):
+                _burn(2_000)
+        res = prof.results()
+        assert "outer" in res["stages"]
+        # inner ran under the outer profile: timed, but no own profile
+        assert res["stages"].get("inner", {}).get("hot", []) == []
+
+    def test_memory_tracking(self):
+        prof = StageProfiler(cprofile=False, memory=True)
+        prof.start()
+        blob = [bytes(1024) for _ in range(512)]
+        prof.stop()
+        res = prof.results()
+        assert res["memory"]["rss_max_kb"] > 0
+        assert res["memory"]["tracemalloc_peak_kb"] > 0
+        del blob
+
+
+# ----- timeline ----------------------------------------------------------------
+
+
+def _fake_call(call=1):
+    return {
+        "call": call,
+        "events": [
+            {"shard": 0, "worker": 0, "t0": 0.0, "t1": 0.10,
+             "traverse_s": 0.04, "evaluate_s": 0.06, "attempt": 0, "local": False},
+            {"shard": 1, "worker": 1, "t0": 0.0, "t1": 0.04,
+             "traverse_s": 0.02, "evaluate_s": 0.02, "attempt": 0, "local": False},
+            {"shard": 2, "worker": 1, "t0": 0.05, "t1": 0.08,
+             "traverse_s": 0.01, "evaluate_s": 0.02, "attempt": 1, "local": False},
+        ],
+    }
+
+
+class TestTimeline:
+    def test_lane_attribution(self):
+        out = analyze_timeline([_fake_call()])
+        assert out["calls"] == 1
+        assert out["wall_s"] == pytest.approx(0.10)
+        w0, w1 = out["lanes"]["w0"], out["lanes"]["w1"]
+        assert w0["compute_s"] == pytest.approx(0.10)
+        assert w0["idle_s"] == pytest.approx(0.0)
+        assert w1["compute_s"] == pytest.approx(0.04)
+        assert w1["recovery_s"] == pytest.approx(0.03)  # attempt=1 shard
+        assert w1["idle_s"] == pytest.approx(0.03)
+        # w0 closes the call: the lane everyone waited for
+        assert out["critical"] == {"w0": pytest.approx(0.10)}
+        assert out["imbalance"] > 0
+
+    def test_parent_fallback_lane(self):
+        call = {"call": 1, "events": [
+            {"shard": 0, "worker": 0, "t0": 0.0, "t1": 0.05,
+             "traverse_s": 0.02, "evaluate_s": 0.03, "attempt": 0, "local": True},
+        ]}
+        out = analyze_timeline([call])
+        assert out["lanes"]["parent"]["recovery_s"] == pytest.approx(0.05)
+        assert out["imbalance"] == 0.0  # parent lane excluded from balance
+
+    def test_render(self):
+        txt = render_timeline(_fake_call(), width=32)
+        assert "force call 1" in txt
+        assert "w0" in txt and "w1" in txt
+        assert "#" in txt and "R" in txt and "." in txt
+        assert render_timeline({"call": 2, "events": []}) == "(no shard events)"
+
+    def test_real_workers2_run(self, tmp_path):
+        """A real sharded run produces a registry record whose timeline
+        reconstructs into w0/w1 lanes."""
+        obs = Observer(ObserveConfig(dir=tmp_path / "obs"))
+        with use_observer(obs):
+            with Simulation(short_config(workers=2, a_final=0.12)) as sim:
+                sim.run()
+            assert sim.shard_timeline, "sharded run must emit shard events"
+        rec = obs.registry.last(kind=KIND_RUN)
+        assert rec is not None
+        tl = rec["data"]["timeline"]
+        assert tl and all(g["events"] for g in tl)
+        summary = analyze_timeline(tl)
+        labels = set(summary["lanes"])
+        assert labels <= {"w0", "w1", "parent"}
+        assert {"w0", "w1"} & labels
+        busy = sum(lane["compute_s"] + lane["recovery_s"]
+                   for lane in summary["lanes"].values())
+        assert busy > 0
+        assert summary == rec["data"]["worker_summary"]
+        assert "force call" in render_timeline(tl[-1])
+
+
+# ----- trend engine ------------------------------------------------------------
+
+
+class TestTrend:
+    def test_robust_baseline(self):
+        center, scale = robust_baseline([1.0, 1.1, 0.9, 1.0, 10.0])
+        assert center == pytest.approx(1.0)  # outlier does not poison
+        assert scale < 0.5
+
+    def test_flags_2x_slowdown(self):
+        history = [1.0, 1.02, 0.98, 1.01, 0.99]
+        v = detect_regression(history, 2.0)
+        assert v["regression"] and v["status"] == "regression"
+        assert v["ratio"] == pytest.approx(2.0, rel=0.05)
+
+    def test_quiet_on_noise_jitter(self):
+        history = [1.0, 1.02, 0.98, 1.01, 0.99]
+        v = detect_regression(history, 1.02)  # 2% jitter
+        assert not v["regression"] and v["status"] == "ok"
+
+    def test_min_direction(self):
+        v = detect_regression([10.0, 10.1, 9.9], 4.0, direction="min")
+        assert v["regression"]
+        assert not detect_regression([10.0, 10.1, 9.9], 9.8,
+                                     direction="min")["regression"]
+
+    def test_insufficient_history(self):
+        v = detect_regression([1.0], 99.0)
+        assert not v["regression"]
+        assert v["status"] == "insufficient-history"
+
+    def test_trend_report_over_registry(self, tmp_path):
+        reg = RunRegistry(tmp_path)
+        for w in (1.0, 1.02, 0.98, 1.01, 0.99):
+            reg.record("simulation_run", {"wall_per_step_s": w}, key="k")
+        reg.record("simulation_run", {"wall_per_step_s": 2.0}, key="k")
+        rep = trend_report(reg, "wall_per_step_s", kind="simulation_run")
+        assert rep["verdict"]["regression"]
+        assert len(rep["series"]) == 6
+        empty = trend_report(reg, "no_such_metric")
+        assert empty["verdict"]["status"] == "no-data"
+
+
+# ----- integration: driver / pipeline / bench record into the registry ---------
+
+
+class TestRecordingIntegration:
+    def test_simulation_run_recorded_keyed_by_config_hash(self, tmp_path):
+        obs = Observer(ObserveConfig(dir=tmp_path / "obs", profile=True))
+        cfg = short_config()
+        with use_observer(obs):
+            with Simulation(cfg) as sim:
+                sim.run()
+        rec = obs.registry.last(kind=KIND_RUN)
+        assert rec is not None
+        assert rec["key"] == config_hash(cfg) == rec["data"]["config_sha256"]
+        d = rec["data"]
+        assert d["steps"] == len(sim.history)
+        assert d["wall_s"] > 0
+        assert d["wall_per_step_s"] > 0
+        assert d["n_particles"] == 512
+        # profile=True: per-stage hot functions captured
+        assert {"init_force", "step"} <= set(d["profile"]["stages"])
+        assert d["profile"]["stages"]["step"]["hot"]
+
+    def test_failed_run_recorded_as_partial(self, tmp_path):
+        obs = Observer(ObserveConfig(dir=tmp_path / "obs"))
+
+        def bomb(sim, rec):
+            raise RuntimeError("injected mid-run failure")
+
+        with use_observer(obs):
+            sim = Simulation(short_config())
+            with pytest.raises(RuntimeError), sim:
+                sim.run(callback=bomb)
+        rec = obs.registry.last(kind=KIND_RUN)
+        assert rec["data"]["partial"] is True
+        assert "injected" in rec["data"]["error"]
+
+    def test_pipeline_stage_recorded(self, tmp_path):
+        from repro.pipeline.run_stage import run_stage
+
+        cfg = {
+            "stage": "ic", "omega_m": 0.3, "omega_b": 0.05, "h": 0.7,
+            "sigma8": 0.8, "n_s": 0.96, "n_per_dim": 8, "box_mpc_h": 50.0,
+            "a_init": 0.1, "seed": 3, "output": "ic.sdf",
+        }
+        cfg_path = tmp_path / "s00_ic.json"
+        cfg_path.write_text(json.dumps(cfg))
+        obs = Observer(ObserveConfig(dir=tmp_path / "obs"))
+        with use_observer(obs):
+            run_stage(cfg_path)
+        rec = obs.registry.last(kind="pipeline_stage")
+        assert rec is not None
+        assert rec["data"]["stage"] == "ic"
+        assert rec["data"]["wall_s"] > 0
+        assert rec["key"] == rec["data"]["config_sha256"]
+        assert rec["data"]["summary"]["particles"] == 512
+
+    def test_bench_emission_recorded(self, tmp_path):
+        sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+        try:
+            from _simlib import emit_bench
+        finally:
+            sys.path.pop(0)
+        obs = Observer(ObserveConfig(dir=tmp_path / "obs"))
+        out = tmp_path / "BENCH_demo.json"
+        with use_observer(obs):
+            doc = emit_bench("demo", {"wall_s": 1.25, "n_particles": 64}, out)
+        written = json.loads(out.read_text())
+        for d in (doc, written):
+            assert d["bench"] == "demo"
+            assert d["bench_schema"] == 1
+            assert d["cpu_count"] >= 1
+            assert d["host"]["hostname"]
+            assert d["created"] and d["created_unix"] > 0
+        rec = obs.registry.last(kind="bench")
+        assert rec["data"]["wall_s"] == 1.25
+        assert rec["key"]  # keyed by the receipt's identity hash
+
+
+# ----- progress line -----------------------------------------------------------
+
+
+class TestProgressLine:
+    def test_line_content_and_ewma(self):
+        from repro.pipeline.run_stage import _ProgressLine
+
+        class Rec:
+            def __init__(self, a, wall):
+                self.a, self.dlna, self.wall = a, 0.1, wall
+
+        class Health:
+            enabled = True
+            events_seen = {"info": 0, "warn": 1, "error": 0}
+
+        class Sim:
+            steps_completed = 7
+            health = Health()
+
+        buf = io.StringIO()
+        line = _ProgressLine(buf, a_final=1.0)
+        line(Sim(), Rec(0.5, 2.0))
+        line(Sim(), Rec(0.6, 1.0))
+        out = buf.getvalue()
+        assert "step 7" in out and "a=0.6000" in out
+        assert "health=warn" in out
+        # EWMA after [2.0, 1.0]: 0.3*1.0 + 0.7*2.0 = 1.7
+        assert "ewma 1.70" in out
+        line.close()
+        assert buf.getvalue().endswith("\n")
+
+    def test_env_gating(self, monkeypatch):
+        from repro.pipeline.run_stage import _make_progress
+
+        monkeypatch.setenv("REPRO_PROGRESS", "0")
+        assert _make_progress(1.0) is None
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        assert _make_progress(1.0) is not None
+        monkeypatch.delenv("REPRO_PROGRESS")
+        # no TTY in the test harness: off by default
+        assert _make_progress(1.0) is None
+
+
+# ----- CLIs --------------------------------------------------------------------
+
+
+def _seed_registry(tmp_path) -> RunRegistry:
+    reg = RunRegistry(tmp_path / "obs")
+    for w in (1.0, 1.02, 0.98, 1.01, 0.99):
+        reg.record("simulation_run",
+                   {"wall_per_step_s": w, "wall_s": 10 * w, "steps": 10},
+                   key="k")
+    return reg
+
+
+class TestObsCli:
+    def test_list_show_compare(self, tmp_path, capsys):
+        reg = _seed_registry(tmp_path)
+        root = str(reg.root)
+        assert obs_main(["--dir", root, "list"]) == 0
+        assert "simulation_run" in capsys.readouterr().out
+        assert obs_main(["--dir", root, "show", "-1"]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["data"]["steps"] == 10
+        assert obs_main(["--dir", root, "compare", "1", "-1"]) == 0
+        assert "wall_per_step_s" in capsys.readouterr().out
+
+    def test_trend_exit_codes(self, tmp_path, capsys):
+        reg = _seed_registry(tmp_path)
+        root = str(reg.root)
+        assert obs_main(["--dir", root, "trend", "wall_per_step_s"]) == 0
+        capsys.readouterr()
+        reg.record("simulation_run", {"wall_per_step_s": 2.0}, key="k")
+        assert obs_main(["--dir", root, "trend", "wall_per_step_s"]) == 2
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_missing_ref_and_timeline(self, tmp_path, capsys):
+        reg = _seed_registry(tmp_path)
+        root = str(reg.root)
+        assert obs_main(["--dir", root, "show", "nope"]) == 1
+        capsys.readouterr()
+        # records carry no shard timeline: exit 1 with a hint
+        assert obs_main(["--dir", root, "timeline", "-1"]) == 1
+        assert "no shard timeline" in capsys.readouterr().err
+
+    def test_empty_registry_list(self, tmp_path, capsys):
+        assert obs_main(["--dir", str(tmp_path / "none"), "list"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+
+class TestDiagGateTrend:
+    def test_gate_trend_regression_fails(self, tmp_path, capsys):
+        from repro.diagnose.cli import main as diag_main
+
+        reg = _seed_registry(tmp_path)
+        reg.record("simulation_run", {"wall_per_step_s": 2.0}, key="k")
+        rc = diag_main(["gate", "--trend", "wall_per_step_s",
+                        "--obs-dir", str(reg.root)])
+        assert rc == 1
+        assert "GATE FAILED" in capsys.readouterr().err
+
+    def test_gate_trend_ok(self, tmp_path, capsys):
+        from repro.diagnose.cli import main as diag_main
+
+        reg = _seed_registry(tmp_path)
+        rc = diag_main(["gate", "--trend", "wall_per_step_s",
+                        "--obs-dir", str(reg.root)])
+        assert rc == 0
+        assert "trend gate passed" in capsys.readouterr().out
+
+    def test_gate_needs_trace_or_trend(self, capsys):
+        from repro.diagnose.cli import main as diag_main
+
+        assert diag_main(["gate"]) == 2
+        assert "need a trace" in capsys.readouterr().err
