@@ -13,6 +13,12 @@ receipt to ``BENCH_force.json`` next to this file:
 * a force-error probe against the Ewald direct reference, graded
   against the errtol budget,
 * a ``segment_sum`` micro-receipt (np.add.reduceat vs bincount),
+* a backend A/B on the hierarchical walk — numpy vs the compiled
+  m x n-blocked CSR kernel, single-thread and with
+  ``REPRO_BENCH_WORKERS`` (default 2) pool workers — with
+  wall/ipp-normalized throughput columns; the compiled columns only
+  run where numba is installed (``summary.numba_available`` records
+  which), and the embedded gate requires compiled >= numpy,
 * embedded ``gates`` so ``repro-diag gate BENCH_force.json`` judges
   the run self-contained (the CI perf-smoke tripwire).
 
@@ -52,31 +58,38 @@ def _particles(n: int, seed: int = 7):
     return rng.random((n, 3)), np.full(n, 1.0 / n)
 
 
-def _solve(traversal: str, pos, mass) -> dict:
+def _solve(traversal: str, pos, mass, backend: str = "numpy",
+           workers: int = 0) -> dict:
     cfg = TreecodeConfig(
         p=4, errtol=ERRTOL, nleaf=16, periodic=True, background=True,
         traversal=traversal, want_potential=False,
+        backend=backend, workers=workers,
     )
     tr = Tracer()
-    solver = TreecodeGravity(cfg)
-    # warm the N-independent caches (lattice expansion, chunk autotune)
-    # on a small subset so the timed solve is steady-state without
-    # paying a second full-size solve
-    nw = min(len(pos), 4096)
-    solver.compute(pos[:nw], mass[:nw], box=1.0)
-    t0 = time.perf_counter()
-    res = solver.compute(pos, mass, box=1.0, tracer=tr)
-    wall = time.perf_counter() - t0
+    with TreecodeGravity(cfg) as solver:
+        # warm the N-independent caches (lattice expansion, chunk
+        # autotune, kernel JIT) on a small subset so the timed solve is
+        # steady-state without paying a second full-size solve
+        nw = min(len(pos), 4096)
+        solver.compute(pos[:nw], mass[:nw], box=1.0)
+        t0 = time.perf_counter()
+        res = solver.compute(pos, mass, box=1.0, tracer=tr)
+        wall = time.perf_counter() - t0
     stage = res.stats.get("stage_seconds", {})
+    ipp = float(res.stats["interactions_per_particle"])
     return {
         "force_wall_s": wall,
         "traverse_s": stage.get("traverse", 0.0),
-        "evaluate_s": stage.get("evaluate", 0.0),
+        "evaluate_s": stage.get("evaluate", stage.get("execute", 0.0)),
         "mac_tests": int(res.stats["mac_tests"]),
         "frontier_peak": int(res.stats["frontier_peak"]),
-        "interactions_per_particle": float(
-            res.stats["interactions_per_particle"]
-        ),
+        "interactions_per_particle": ipp,
+        # ipp-normalized throughput: traversal-level interactions per
+        # second of force wall, comparable across walks and backends
+        "interactions_per_second": ipp * len(pos) / max(wall, 1e-12),
+        "backend": res.stats.get("backend", "numpy"),
+        "backend_fallback": res.stats.get("backend_fallback"),
+        "workers": workers,
         "acc": res.acc,  # stripped before serialization
         "eps": cfg.eps,
         "softening": cfg.softening,
@@ -121,21 +134,56 @@ def _segment_sum_receipt(rows: int = 200_000, segs: int = 20_000) -> dict:
 
 
 def run() -> dict:
+    from repro.gravity import kernel_available
+
+    compiled_real = kernel_available() and not os.environ.get(
+        "REPRO_FORCE_PYKERNEL"
+    )
+    workers_mt = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
     sizes = []
     for n in SIZES:
         pos, mass = _particles(n)
         leaf = _solve("leaf", pos, mass)
-        hier = _solve("hierarchical", pos, mass)
+        hier = _solve("hierarchical", pos, mass)  # numpy single-thread
+        # backend A/B on the hierarchical walk: numpy vs compiled,
+        # single-thread and sharded (the interpreted-kernel testing
+        # hook is far slower than numpy, so the compiled columns only
+        # run where a real kernel exists — the receipt records why)
+        backends = {"numpy_1t": hier}
+        if compiled_real:
+            backends["compiled_1t"] = _solve(
+                "hierarchical", pos, mass, backend="compiled"
+            )
+            backends["numpy_mt"] = _solve(
+                "hierarchical", pos, mass, workers=workers_mt
+            )
+            backends["compiled_mt"] = _solve(
+                "hierarchical", pos, mass, backend="compiled",
+                workers=workers_mt,
+            )
         probe = _probe_error(pos, mass, hier)
         row = {
             "n": n,
             "leaf": {k: v for k, v in leaf.items() if k != "acc"},
             "hierarchical": {k: v for k, v in hier.items() if k != "acc"},
+            "backends": {
+                name: {k: v for k, v in rec.items() if k != "acc"}
+                for name, rec in backends.items()
+            },
             "probe": probe,
             "mac_test_ratio": leaf["mac_tests"] / max(hier["mac_tests"], 1),
             "traverse_speedup": leaf["traverse_s"] / max(hier["traverse_s"], 1e-12),
             "force_speedup": leaf["force_wall_s"] / max(hier["force_wall_s"], 1e-12),
         }
+        if "compiled_1t" in backends:
+            row["backend_speedup_1t"] = (
+                hier["force_wall_s"]
+                / max(backends["compiled_1t"]["force_wall_s"], 1e-12)
+            )
+            row["backend_speedup_mt"] = (
+                backends["numpy_mt"]["force_wall_s"]
+                / max(backends["compiled_mt"]["force_wall_s"], 1e-12)
+            )
         sizes.append(row)
         print(
             f"n={n}: mac {leaf['mac_tests']} -> {hier['mac_tests']} "
@@ -147,6 +195,11 @@ def run() -> dict:
             f"{hier['interactions_per_particle']:.0f}, probe err/budget "
             f"{probe['err_over_budget']:.3f}"
         )
+        if "backend_speedup_1t" in row:
+            print(
+                f"      backend A/B: compiled {row['backend_speedup_1t']:.2f}x "
+                f"(1t), {row['backend_speedup_mt']:.2f}x ({workers_mt} workers)"
+            )
     last = sizes[-1]
     summary = {
         "n_max": last["n"],
@@ -154,6 +207,7 @@ def run() -> dict:
         "traverse_speedup": last["traverse_speedup"],
         "force_speedup": last["force_speedup"],
         "probe_err_over_budget": last["probe"]["err_over_budget"],
+        "numba_available": compiled_real,
     }
     # smoke mode (tiny N) only checks direction + error budget; the
     # full-size acceptance bounds are the ISSUE's 3x MAC / faster-walk
@@ -163,6 +217,15 @@ def run() -> dict:
     }
     if MODE == "full":
         gates["traverse_speedup"] = {"min": 1.0}
+    if "backend_speedup_1t" in last:
+        summary["backend_speedup_1t"] = last["backend_speedup_1t"]
+        summary["backend_speedup_mt"] = last["backend_speedup_mt"]
+        # ISSUE 7 acceptance: compiled no slower than numpy everywhere,
+        # and >= 4x single-thread at full size on real hardware
+        gates["backend_speedup_1t"] = {
+            "min": 1.0 if MODE == "smoke" else 4.0
+        }
+        gates["backend_speedup_mt"] = {"min": 1.0}
     return {
         "type": "bench_force_e2e",
         "mode": MODE,

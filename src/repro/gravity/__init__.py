@@ -1,6 +1,7 @@
 """Gravity solvers: treecode, direct, Ewald, periodic, PM/TreePM."""
 
 from .direct import direct_accelerations, direct_potential_energy
+from .kernels import NUMBA_AVAILABLE, kernel_available, resolve_backend
 from .smoothing import (
     DehnenK1Softening,
     NoSoftening,
@@ -15,6 +16,7 @@ from .treeforce import ForceResult, evaluate_forces
 __all__ = [
     "DehnenK1Softening",
     "ForceResult",
+    "NUMBA_AVAILABLE",
     "NoSoftening",
     "PlummerSoftening",
     "SofteningKernel",
@@ -24,5 +26,7 @@ __all__ = [
     "direct_accelerations",
     "direct_potential_energy",
     "evaluate_forces",
+    "kernel_available",
     "make_softening",
+    "resolve_backend",
 ]

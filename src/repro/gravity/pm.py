@@ -177,6 +177,9 @@ class TreePMConfig:
     #: dual-tree walk flavour for the short-range half ("hierarchical"
     #: or "leaf"; see :class:`~repro.gravity.solver.TreecodeConfig`)
     traversal: str = "hierarchical"
+    #: force-evaluation backend for the short-range tree half
+    #: ("numpy" | "compiled" | "auto"; see TreecodeConfig.backend)
+    backend: str = "auto"
     G: float = 1.0
     #: worker processes for the short-range tree half (0 = serial)
     workers: int = 0
@@ -241,6 +244,7 @@ class TreePMGravity:
                         rcut=cfg.rcut * r_split,
                         check_finite=cfg.check_finite,
                         traversal=cfg.traversal,
+                        backend=cfg.backend,
                         tracer=tr,
                     )
             else:
@@ -257,6 +261,7 @@ class TreePMGravity:
                         softening=sr,
                         G=cfg.G,
                         kernel=ErfcKernel(1.0 / (2.0 * r_split)),
+                        backend=cfg.backend,
                     )
             res.acc += acc_long
             if res.pot is not None:
@@ -294,6 +299,9 @@ class TreePMGravity:
             res.stats["force_seconds"] = sp_force.seconds
             res.stats["flops"] = flops_from_stats(res.stats)
             tr.count("force.calls")
+            tr.count(
+                f"evaluate.backend.{res.stats.get('backend', 'numpy')}"
+            )
             tr.count(
                 "force.interactions",
                 res.stats.get("cell_interactions", 0)

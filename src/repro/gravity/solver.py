@@ -75,6 +75,10 @@ class TreecodeConfig:
     #: inherited accepts and CSR segment-reduce evaluation) or "leaf"
     #: (the original per-sink-leaf walk, kept for A/B receipts)
     traversal: str = "hierarchical"
+    #: force-evaluation backend: "numpy" (vectorized reference),
+    #: "compiled" (numba m x n-blocked CSR kernel) or "auto"
+    #: (``REPRO_FORCE_BACKEND`` env, else compiled-when-available)
+    backend: str = "auto"
     softening: str = "dehnen_k1"
     eps: float = 0.01
     G: float = 1.0
@@ -190,6 +194,7 @@ class TreecodeGravity:
                         want_potential=cfg.want_potential,
                         check_finite=cfg.check_finite,
                         traversal=cfg.traversal,
+                        backend=cfg.backend,
                         tracer=tr,
                     )
             else:
@@ -210,6 +215,7 @@ class TreecodeGravity:
                         G=cfg.G,
                         dtype=cfg.dtype,
                         want_potential=cfg.want_potential,
+                        backend=cfg.backend,
                     )
             lattice_s = 0.0
             if cfg.periodic and cfg.lattice_correction and cfg.background:
@@ -271,6 +277,9 @@ class TreecodeGravity:
                 + result.stats.get("prism_interactions", 0)
             )
             tr.count("force.calls")
+            tr.count(
+                f"evaluate.backend.{result.stats.get('backend', 'numpy')}"
+            )
             tr.count("force.interactions", n_inter)
             tr.count("force.cells", tree.n_cells)
             tr.count("force.flops", flops)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..instrument import get_tracer
 from ..multipoles import multi_index_set
 from ..multipoles.codegen import compiled_dtensor_function
 from ..multipoles.multiindex import n_coeffs
@@ -35,6 +36,7 @@ from ..tree.moments import TreeMoments
 from ..tree.structure import Tree
 from ..tree.traversal import InteractionLists
 from ..util import expand_ranges
+from . import kernels
 from .smoothing import NoSoftening, SofteningKernel
 
 __all__ = ["ForceResult", "evaluate_forces", "autotune_chunks", "segment_sum"]
@@ -134,7 +136,57 @@ def _chunk_buffer(tag: str, rows: int, cols: int, dtype) -> np.ndarray:
     return buf[:rows]
 
 
+#: fallback pp/prism chunk when calibration is skipped (compiled backend)
+_DEFAULT_PP_CHUNK = 262144
+
+
+def _time_once(fn) -> float:
+    import time
+
+    fn()  # warm up / JIT numpy internals out of the measurement
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+@functools.lru_cache(maxsize=16)
+def _autotune_cell(p: int, dtype_str: str) -> int:
+    """Calibrate the cell-family chunk (order-dependent recurrence cost)."""
+    dtype = np.dtype(dtype_str)
+    rng = np.random.default_rng(0)
+    nhi = n_coeffs(p + 1)
+    dt_fn = compiled_dtensor_function(p + 1)
+    best_cell, best_cost = 16384, np.inf
+    for c in (8192, 16384, 32768, 65536):
+        dx = rng.standard_normal((c, 3)).astype(dtype) + 2.0
+        g = rng.standard_normal((p + 2, c)).astype(dtype)
+        out = np.empty((c, nhi), dtype=dtype)
+        cost = _time_once(lambda: dt_fn(dx[:, 0], dx[:, 1], dx[:, 2], g, out)) / c
+        if cost < best_cost:
+            best_cell, best_cost = c, cost
+    return best_cell
+
+
 @functools.lru_cache(maxsize=8)
+def _autotune_pp(dtype_str: str) -> int:
+    """Calibrate the pp/prism chunk — order-independent, cached per dtype."""
+    dtype = np.dtype(dtype_str)
+    rng = np.random.default_rng(0)
+    best_pp, best_cost = _DEFAULT_PP_CHUNK, np.inf
+    for c in (65536, 131072, 262144, 524288):
+        dx = rng.standard_normal((c, 3)).astype(dtype) + 1.0
+
+        def pp_kernel(dx=dx):
+            r = np.sqrt(np.einsum("ij,ij->i", dx, dx))
+            f = 1.0 / (r * r * r)
+            return f[:, None] * dx
+
+        cost = _time_once(pp_kernel) / c
+        if cost < best_cost:
+            best_pp, best_cost = c, cost
+    return best_pp
+
+
 def autotune_chunks(p: int, dtype_str: str) -> tuple[int, int]:
     """One-shot calibration of (cell_chunk, pp_chunk) for this process.
 
@@ -144,41 +196,12 @@ def autotune_chunks(p: int, dtype_str: str) -> tuple[int, int]:
     synthetic data, and returns the fastest per-row choice of each.
     Chunk size only affects speed, never results (the CSR evaluator
     aligns chunks to whole sink particles), so a noisy pick is safe.
+    The pp half is order-independent and cached per dtype, so a run
+    mixing expansion orders (e.g. tree + TreePM) calibrates it once;
+    the compiled backend skips calibration entirely (it allocates no
+    contribution buffers).
     """
-    import time
-
-    dtype = np.dtype(dtype_str)
-    rng = np.random.default_rng(0)
-    nhi = n_coeffs(p + 1)
-    dt_fn = compiled_dtensor_function(p + 1)
-
-    def time_once(fn) -> float:
-        fn()  # warm up / JIT numpy internals out of the measurement
-        t0 = time.perf_counter()
-        fn()
-        return time.perf_counter() - t0
-
-    best_cell, best_cost = 16384, np.inf
-    for c in (8192, 16384, 32768, 65536):
-        dx = rng.standard_normal((c, 3)).astype(dtype) + 2.0
-        g = rng.standard_normal((p + 2, c)).astype(dtype)
-        out = np.empty((c, nhi), dtype=dtype)
-        cost = time_once(lambda: dt_fn(dx[:, 0], dx[:, 1], dx[:, 2], g, out)) / c
-        if cost < best_cost:
-            best_cell, best_cost = c, cost
-    best_pp, best_cost = 262144, np.inf
-    for c in (65536, 131072, 262144, 524288):
-        dx = rng.standard_normal((c, 3)).astype(dtype) + 1.0
-
-        def pp_kernel(dx=dx):
-            r = np.sqrt(np.einsum("ij,ij->i", dx, dx))
-            f = 1.0 / (r * r * r)
-            return f[:, None] * dx
-
-        cost = time_once(pp_kernel) / c
-        if cost < best_cost:
-            best_pp, best_cost = c, cost
-    return best_cell, best_pp
+    return _autotune_cell(p, dtype_str), _autotune_pp(dtype_str)
 
 
 @functools.lru_cache(maxsize=32)
@@ -207,6 +230,7 @@ def evaluate_forces(
     cell_chunk: int | None = None,
     pp_chunk: int | None = None,
     particle_range: tuple[int, int] | None = None,
+    backend: str | None = None,
 ) -> ForceResult:
     """Evaluate all interactions; returns fields in original particle order.
 
@@ -216,6 +240,16 @@ def evaluate_forces(
         Radial Green's function for the *cell* interactions (default
         Newtonian 1/r; a short-range ErfcKernel turns this into the
         tree half of a TreePM split).
+    backend:
+        ``"numpy"`` (vectorized reference), ``"compiled"`` (the numba
+        m x n-blocked CSR kernel of :mod:`repro.gravity.kernels`) or
+        ``"auto"``/None (``REPRO_FORCE_BACKEND`` env, defaulting to
+        compiled-when-available).  The compiled backend consumes only
+        CSR lists; flat per-leaf lists and unsupported kernel types
+        fall back to numpy with the reason in
+        ``stats["backend_fallback"]``.  The compiled kernel always
+        accumulates in float64 (it is the *more* accurate path when
+        ``dtype=float32``).
     dtype:
         Accumulation precision (float32 reproduces the single-precision
         behaviour of Fig. 6 / Table 3).
@@ -244,10 +278,10 @@ def evaluate_forces(
     if inter.cell_indptr is not None:
         return _evaluate_forces_csr(
             tree, moms, inter, softening, G, dtype, want_potential,
-            kernel, cell_chunk, pp_chunk, particle_range,
+            kernel, cell_chunk, pp_chunk, particle_range, backend,
         )
     if pp_chunk is None:
-        pp_chunk = 262144
+        pp_chunk = _DEFAULT_PP_CHUNK
     p = moms.p
     s0, s1 = particle_range if particle_range is not None else (0, tree.n_particles)
     n = s1 - s0
@@ -262,7 +296,12 @@ def evaluate_forces(
         "pp_interactions": 0,
         "prism_interactions": 0,
         "order": p,
+        "backend": "numpy",
     }
+    if kernels.resolve_backend(backend) == "compiled":
+        stats["backend_fallback"] = (
+            "compiled backend consumes CSR lists only (legacy leaf walk)"
+        )
 
     mis = multi_index_set(p)
     w = ((-1.0) ** mis.order) / mis.factorial
@@ -426,6 +465,7 @@ def _evaluate_forces_csr(
     cell_chunk: int | None,
     pp_chunk: int | None,
     particle_range: tuple[int, int] | None,
+    backend: str | None = None,
 ) -> ForceResult:
     """Segment-reduce evaluation of CSR-grouped interaction lists.
 
@@ -435,13 +475,36 @@ def _evaluate_forces_csr(
     by a single reduceat over the run boundaries, and each particle
     lands in exactly one chunk (chunks split only between particles),
     making the result independent of the chunk sizes.
+
+    ``backend="compiled"`` replaces the cell and pp families with the
+    m x n-blocked kernel of :mod:`repro.gravity.kernels` (same CSR
+    arrays, no contrib buffers, float64 accumulation); the analytic
+    background (prism) family always runs through the shared numpy
+    pass below so both backends agree term by term.
     """
     p = moms.p
+    resolved, fb_reason = kernels.resolve_backend_ex(backend)
+    spec = None
+    if resolved == "compiled":
+        spec = kernels.kernel_specs(kernel, softening, p)
+        if spec is None:
+            resolved = "numpy"
+            fb_reason = (
+                "compiled kernel does not implement "
+                f"{type(kernel).__name__}/{type(softening).__name__}"
+            )
+    tr = get_tracer()
     s0, s1 = particle_range if particle_range is not None else (0, tree.n_particles)
     n = s1 - s0
     acc = np.zeros((n, 3), dtype=np.float64)
     pot = np.zeros(n, dtype=np.float64) if want_potential else None
-    if cell_chunk is None or pp_chunk is None:
+    if resolved == "compiled":
+        # the blocked kernel allocates no contrib buffers, so chunk
+        # calibration is skipped entirely; pp_chunk only paces the
+        # shared prism pass
+        if pp_chunk is None:
+            pp_chunk = _DEFAULT_PP_CHUNK
+    elif cell_chunk is None or pp_chunk is None:
         tuned_cell, tuned_pp = autotune_chunks(p, np.dtype(dtype).str)
         cell_chunk = cell_chunk if cell_chunk is not None else tuned_cell
         pp_chunk = pp_chunk if pp_chunk is not None else tuned_pp
@@ -455,7 +518,10 @@ def _evaluate_forces_csr(
         "prism_interactions": 0,
         "order": p,
         "evaluator": "csr",
+        "backend": resolved,
     }
+    if fb_reason:
+        stats["backend_fallback"] = fb_reason
 
     sinks = inter.sink_leaves
     # per sink particle: global key-sorted index and owning CSR row
@@ -487,15 +553,16 @@ def _evaluate_forces_csr(
 
     # ----- cell (multipole) interactions --------------------------------------
     if len(inter.cell_sink):
+        nent = np.diff(inter.cell_indptr)
+        stats["cell_interactions"] = int((nent * leaf_np).sum())
+    if len(inter.cell_sink) and resolved == "numpy":
         mis = multi_index_set(p)
         w = ((-1.0) ** mis.order) / mis.factorial
         cols = _acc_columns(p)
         ncoef = len(mis)
         nhi = n_coeffs(p + 1)
         dt_fn = compiled_dtensor_function(p + 1)
-        nent = np.diff(inter.cell_indptr)
         m_p = nent[row_of_p]
-        stats["cell_interactions"] = int(m_p.sum())
         w_t = w.astype(dtype)
         for a, b in particle_chunks(m_p, cell_chunk):
             lf = row_of_p[a:b]
@@ -525,10 +592,6 @@ def _evaluate_forces_csr(
 
     # ----- particle-particle interactions --------------------------------------
     if len(inter.leaf_sink):
-        pos_w = tree.pos if dtype is np.float64 else tree.pos.astype(dtype)
-        mass_w = tree.mass if dtype is np.float64 else tree.mass.astype(dtype)
-        offsets_w = inter.offsets.astype(dtype, copy=False)
-        home_off = int(np.flatnonzero(np.all(inter.offsets == 0.0, axis=1))[0])
         nent = np.diff(inter.leaf_indptr)
         ct_ent = tree.cell_count[inter.leaf_src]
         # per-row source-particle total -> per-sink-particle fan-out
@@ -537,8 +600,13 @@ def _evaluate_forces_csr(
         if np.any(nz_rows):
             starts = inter.leaf_indptr[:-1][nz_rows]
             row_ct[nz_rows] = np.add.reduceat(ct_ent, starts)
+        stats["pp_interactions"] = int((row_ct * leaf_np).sum())
+    if len(inter.leaf_sink) and resolved == "numpy":
+        pos_w = tree.pos if dtype is np.float64 else tree.pos.astype(dtype)
+        mass_w = tree.mass if dtype is np.float64 else tree.mass.astype(dtype)
+        offsets_w = inter.offsets.astype(dtype, copy=False)
+        home_off = int(np.flatnonzero(np.all(inter.offsets == 0.0, axis=1))[0])
         m_p = row_ct[row_of_p]
-        stats["pp_interactions"] = int(m_p.sum())
         for a, b in particle_chunks(m_p, pp_chunk):
             lf = row_of_p[a:b]
             ent = expand_ranges(inter.leaf_indptr[lf], nent[lf])
@@ -559,6 +627,13 @@ def _evaluate_forces_csr(
                 p_contrib = (mass_w[src_part] * psi).astype(np.float64)
             reduce_into(
                 (-(fm[:, None] * dx)).astype(np.float64), p_contrib, a, b, m_p[a:b]
+            )
+
+    # ----- compiled m x n-blocked kernel (cell + pp families) ------------------
+    if resolved == "compiled" and (len(inter.cell_sink) or len(inter.leaf_sink)):
+        with tr.span("kernel"):
+            kernels.run_csr_kernel(
+                tree, moms, inter, spec, want_potential, s0, acc, pot
             )
 
     # ----- analytic background cubes -------------------------------------------

@@ -213,6 +213,9 @@ def _run_shard(state: _WorkerState, sinks, s0: int, s1: int):
 
         inter = _prune_far(state.tree, state.moms, inter, task["rcut"])
     t1 = time.perf_counter()
+    from ..gravity import kernels
+
+    kernels.set_kernel_threads(task.get("kernel_threads"))
     res = evaluate_forces(
         state.tree,
         state.moms,
@@ -223,6 +226,7 @@ def _run_shard(state: _WorkerState, sinks, s0: int, s1: int):
         want_potential=task["want_potential"],
         kernel=task["kernel"],
         particle_range=(s0, s1),
+        backend=task.get("backend"),
     )
     t2 = time.perf_counter()
     state.acc[s0:s1] = res.acc
@@ -440,9 +444,16 @@ class ForceExecutor:
         xmax: float = 0.6,
         check_finite: bool = False,
         traversal: str = "leaf",
+        backend: str | None = None,
         tracer=None,
     ):
         """Traverse + evaluate all sink leaves across the pool.
+
+        ``backend`` selects the per-shard force evaluator (see
+        :func:`~repro.gravity.treeforce.evaluate_forces`); with the
+        compiled backend each worker caps its numba thread pool at
+        ``cpu_count // workers`` so processes x threads never
+        oversubscribes the node.
 
         The tree and moments must already be built (the upward pass is
         cheap and serial); returns a
@@ -489,6 +500,11 @@ class ForceExecutor:
                 "rcut": rcut,
                 "check_finite": check_finite,
                 "traversal": traversal,
+                "backend": backend,
+                "kernel_threads": (
+                    max(1, (os.cpu_count() or 1) // self.workers)
+                    if self.workers > 1 else None
+                ),
                 "faults": self._fault_spec,
             },
         }
@@ -737,6 +753,9 @@ class ForceExecutor:
             )
             stats["inherited_accepts"] += s.get("inherited_accepts", 0)
             stats["leaf_accepts"] += s.get("leaf_accepts", 0)
+            for key in ("evaluator", "backend", "backend_fallback"):
+                if key in s:
+                    stats[key] = s[key]
         if any("nonfinite_acc" in s for s in shard_stats.values()):
             bad = {sid: s["nonfinite_acc"] for sid, s in shard_stats.items()
                    if s.get("nonfinite_acc")}

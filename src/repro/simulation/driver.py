@@ -65,6 +65,9 @@ class SimulationConfig:
     #: dual-tree walk flavour ("hierarchical" or the legacy "leaf";
     #: see :class:`repro.gravity.TreecodeConfig`)
     traversal: str = "hierarchical"
+    #: force-evaluation backend ("numpy" | "compiled" | "auto"; see
+    #: :class:`repro.gravity.TreecodeConfig`)
+    backend: str = "auto"
     #: softening length as a fraction of the mean interparticle spacing
     eps_frac: float = 0.05
     ws: int = 1
@@ -209,6 +212,7 @@ class Simulation:
                     ws=c.ws,
                     softening=c.softening,
                     traversal=c.traversal,
+                    backend=c.backend,
                     eps=c.eps,
                     want_potential=c.track_energy,
                     dtype=np.float32,
@@ -225,6 +229,7 @@ class Simulation:
                     nleaf=c.nleaf,
                     softening=c.softening if c.softening != "dehnen_k1" else "spline",
                     traversal=c.traversal,
+                    backend=c.backend,
                     eps=c.eps,
                     workers=c.workers,
                     check_finite=check_finite,
@@ -424,6 +429,7 @@ class Simulation:
                 "engine": c.engine,
                 "n_particles": c.n_particles,
                 "workers": c.workers,
+                "backend": self.last_stats.get("backend", c.backend),
                 "errtol": c.errtol,
                 "a_final": float(self.particles.a),
                 "steps": steps,
