@@ -89,6 +89,9 @@ def _solve(traversal: str, pos, mass, backend: str = "numpy",
         "interactions_per_second": ipp * len(pos) / max(wall, 1e-12),
         "backend": res.stats.get("backend", "numpy"),
         "backend_fallback": res.stats.get("backend_fallback"),
+        # in-kernel roofline counters: interactions/s, effective
+        # GFLOP/s, m x n tile shape, thread utilization (ISSUE 8)
+        "kernel": res.stats.get("kernel"),
         "workers": workers,
         "acc": res.acc,  # stripped before serialization
         "eps": cfg.eps,
@@ -200,6 +203,17 @@ def run() -> dict:
                 f"      backend A/B: compiled {row['backend_speedup_1t']:.2f}x "
                 f"(1t), {row['backend_speedup_mt']:.2f}x ({workers_mt} workers)"
             )
+        for name, rec in backends.items():
+            kern = rec.get("kernel")
+            if kern:
+                print(
+                    f"      kernel[{name}]: "
+                    f"{kern['interactions_per_s']:.3g} inter/s, "
+                    f"{kern['gflops']:.3f} GFLOP/s "
+                    f"({kern['model_fraction']:.1%} of model), "
+                    f"tile m {kern['m_mean']:.1f}/{kern['m_max']}, "
+                    f"occupancy {kern['tile_occupancy']:.2f}"
+                )
     last = sizes[-1]
     summary = {
         "n_max": last["n"],
@@ -209,6 +223,11 @@ def run() -> dict:
         "probe_err_over_budget": last["probe"]["err_over_budget"],
         "numba_available": compiled_real,
     }
+    # trend-gateable kernel throughput per backend column
+    for name, rec in last["backends"].items():
+        kern = rec.get("kernel")
+        if kern:
+            summary[f"kernel_gflops_{name}"] = kern["gflops"]
     # smoke mode (tiny N) only checks direction + error budget; the
     # full-size acceptance bounds are the ISSUE's 3x MAC / faster-walk
     gates = {

@@ -17,10 +17,12 @@ communication and imbalance from the parallel traversal — and then
 scales the model to the paper's configuration for the side-by-side.
 """
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
-from _simlib import BENCH_N, once, print_table
+from _simlib import BENCH_N, emit_bench, once, print_table
 from repro.cosmology import PLANCK2013, code_particle_mass
 from repro.gravity import TreecodeConfig, TreecodeGravity
 from repro.instrument import Tracer
@@ -39,6 +41,8 @@ PAPER_ROWS = {
     "force_evaluation": 350.0,
     "load_imbalance": 80.0,
 }
+
+OUT_PATH = Path(__file__).parent / "BENCH_table2.json"
 
 
 def _measure_stages():
@@ -81,6 +85,19 @@ def test_table2_stage_fractions(benchmark):
     stages, counts = once(benchmark, _measure_stages)
     total = sum(stages.values())
     paper_total = sum(PAPER_ROWS.values())
+    # the shared receipt envelope registers this run in the observatory
+    # registry (keyed by the identity fields), so Table-2 stage
+    # fractions are trend-gateable like the other benches
+    n = max(BENCH_N, 12)
+    emit_bench("table2_breakdown", {
+        "type": "bench_table2_breakdown",
+        "mode": "smoke" if BENCH_N <= 16 else "full",
+        "n_particles": n**3,
+        "stages": {k: round(v, 6) for k, v in stages.items()},
+        "fractions": {k: round(v / total, 4) for k, v in stages.items()},
+        "counts": {k: round(v, 2) for k, v in counts.items()},
+        "paper_seconds": PAPER_ROWS,
+    }, OUT_PATH)
     rows = [
         (name, round(PAPER_ROWS[name], 1), round(PAPER_ROWS[name] / paper_total, 3),
          round(stages[name], 3), round(stages[name] / total, 3))

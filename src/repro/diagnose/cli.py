@@ -243,9 +243,35 @@ def _gate_trend(args) -> int:
             f"n={verdict['n_history']})",
             file=sys.stderr,
         )
+        _print_trend_attribution(registry, report, args.trend_window)
         return 1
     print(f"\ntrend gate passed: {args.trend} {status}")
     return 0
+
+
+def _print_trend_attribution(registry, report, window: int) -> None:
+    """Name what moved: diff the regressed record against the window
+    predecessor closest to the baseline center (never raises — the
+    gate verdict stands on its own)."""
+    try:
+        from ..observe import attribute, format_attribution
+
+        points = report["series"]
+        if len(points) < 2:
+            return
+        center = report["verdict"].get("center")
+        baseline_pts = points[:-1][-window:]
+        ref = min(
+            baseline_pts,
+            key=lambda p: abs(p["value"] - center) if center is not None else 0,
+        )
+        rec_a = registry.get(ref["id"])
+        rec_b = registry.get(points[-1]["id"])
+        print("\nattribution (baseline record -> regressed record):",
+              file=sys.stderr)
+        print(format_attribution(attribute(rec_a, rec_b)), file=sys.stderr)
+    except Exception:
+        pass
 
 
 def _cmd_gate(args) -> int:

@@ -68,8 +68,11 @@ __all__ = [
     "kernel_available",
     "get_force_kernel",
     "set_kernel_threads",
+    "active_kernel_threads",
     "kernel_specs",
     "run_csr_kernel",
+    "kernel_counters",
+    "merge_kernel_counters",
 ]
 
 try:  # import-guarded: the repo must import and pass tier-1 without numba
@@ -152,6 +155,137 @@ def set_kernel_threads(n: int | None) -> None:
         numba.set_num_threads(max(1, min(int(n), limit)))
     except Exception:  # pragma: no cover - defensive: never break a solve
         pass
+
+
+def active_kernel_threads() -> int:
+    """Threads the jitted kernel's ``prange`` will actually use."""
+    if not NUMBA_AVAILABLE:
+        return 1
+    try:
+        return int(numba.get_num_threads())
+    except Exception:  # pragma: no cover - defensive
+        return 1
+
+
+# ---------------------------------------------------------------------------
+# roofline counters
+# ---------------------------------------------------------------------------
+
+
+def kernel_counters(
+    tree,
+    inter,
+    *,
+    p: int,
+    want_potential: bool,
+    seconds: float,
+    backend: str,
+    threads: int = 1,
+    prism_interactions: int = 0,
+) -> dict:
+    """Roofline counters of one CSR force evaluation (paper §3.2/§3.4).
+
+    Everything is derived from the CSR interaction lists plus the
+    measured kernel seconds, so the numbers are identical accounting
+    for both backends: interactions by family, an honest flop count
+    from :mod:`repro.perfmodel.flops`, achieved interactions/s and
+    effective GFLOP/s, the m x n tile shape the blocked kernel sees
+    (m = sink particles per CSR row, n = sources per entry) with its
+    register-block occupancy, a static-schedule thread-utilization
+    estimate, and the fraction of the machine-model prediction reached.
+    """
+    from ..parallel.machine import MachineModel
+    from ..perfmodel.flops import FLOPS_PER_MONOPOLE_PP, flops_per_cell_interaction
+
+    sinks = inter.sink_leaves
+    rows = int(len(sinks))
+    leaf_np = tree.cell_count[sinks] if rows else np.zeros(0, dtype=np.int64)
+    cell_per_row = np.zeros(rows, dtype=np.int64)
+    if len(inter.cell_sink):
+        cell_per_row = np.diff(inter.cell_indptr)
+    pp_per_row = np.zeros(rows, dtype=np.int64)
+    n_pp_mean = 0.0
+    if len(inter.leaf_sink):
+        ct_ent = tree.cell_count[inter.leaf_src]
+        nent = np.diff(inter.leaf_indptr)
+        nz = nent > 0
+        if np.any(nz):
+            pp_per_row[nz] = np.add.reduceat(ct_ent, inter.leaf_indptr[:-1][nz])
+        if len(ct_ent):
+            n_pp_mean = float(ct_ent.mean())
+    cell_inter = int((cell_per_row * leaf_np).sum())
+    pp_inter = int((pp_per_row * leaf_np).sum())
+    total = cell_inter + pp_inter + int(prism_interactions)
+    cell_flops = flops_per_cell_interaction(p, want_potential)
+    flops = float(
+        cell_inter * cell_flops
+        + (pp_inter + int(prism_interactions)) * FLOPS_PER_MONOPOLE_PP
+    )
+    m_mean = float(leaf_np.mean()) if rows else 0.0
+    m_max = int(leaf_np.max()) if rows else 0
+    # static-schedule balance over the prange rows: per-row flop weight,
+    # split into `threads` contiguous chunks; utilization = mean/max
+    util = 1.0
+    if threads > 1 and rows:
+        weight = (cell_per_row * leaf_np * cell_flops
+                  + pp_per_row * leaf_np * FLOPS_PER_MONOPOLE_PP).astype(np.float64)
+        sums = np.array([c.sum() for c in np.array_split(weight, threads)])
+        util = float(sums.mean() / sums.max()) if sums.max() > 0 else 1.0
+    sec = max(float(seconds), 1e-12)
+    gflops = flops / sec / 1e9
+    model_gflops = MachineModel().flops_per_core * max(int(threads), 1) / 1e9
+    return {
+        "backend": backend,
+        "seconds": float(seconds),
+        "interactions": total,
+        "cell_interactions": cell_inter,
+        "pp_interactions": pp_inter,
+        "prism_interactions": int(prism_interactions),
+        "flops": flops,
+        "interactions_per_s": total / sec,
+        "gflops": gflops,
+        "rows": rows,
+        "m_mean": m_mean,
+        "m_max": m_max,
+        "n_pp_mean": n_pp_mean,
+        "tile_occupancy": (m_mean / m_max) if m_max else 0.0,
+        "threads": max(int(threads), 1),
+        "thread_utilization": util,
+        "model_gflops": model_gflops,
+        "model_fraction": gflops / model_gflops if model_gflops else 0.0,
+    }
+
+
+def merge_kernel_counters(parts: list[dict]) -> dict | None:
+    """Combine per-shard kernel counters into one record.
+
+    Additive fields sum; ``seconds`` sums *busy* kernel seconds across
+    shards, so the recomputed rates are per-busy-second throughput —
+    comparable to a single-thread rate, not to the pool wall-clock.
+    Shape/utilization fields average weighted by interactions.
+    """
+    parts = [k for k in parts if k]
+    if not parts:
+        return None
+    out = {"backend": parts[-1].get("backend", "numpy")}
+    for key in ("interactions", "cell_interactions", "pp_interactions",
+                "prism_interactions", "rows"):
+        out[key] = int(sum(k.get(key, 0) for k in parts))
+    out["flops"] = float(sum(k.get("flops", 0.0) for k in parts))
+    out["seconds"] = float(sum(k.get("seconds", 0.0) for k in parts))
+    sec = max(out["seconds"], 1e-12)
+    out["interactions_per_s"] = out["interactions"] / sec
+    out["gflops"] = out["flops"] / sec / 1e9
+    w = np.array([max(k.get("interactions", 0), 1) for k in parts], dtype=float)
+    for key in ("m_mean", "n_pp_mean", "tile_occupancy", "thread_utilization"):
+        out[key] = float(np.average([k.get(key, 0.0) for k in parts], weights=w))
+    out["m_max"] = int(max(k.get("m_max", 0) for k in parts))
+    out["threads"] = int(max(k.get("threads", 1) for k in parts))
+    out["model_gflops"] = float(max(k.get("model_gflops", 0.0) for k in parts))
+    out["model_fraction"] = (
+        out["gflops"] / out["model_gflops"] if out["model_gflops"] else 0.0
+    )
+    return out
 
 
 # ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ Three interaction families:
 from __future__ import annotations
 
 import functools
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -551,11 +552,17 @@ def _evaluate_forces_csr(
         if want_potential:
             pot[rows] += segment_sum(pcontrib, starts[nz])
 
+    # kernel seconds: the cell + pp family evaluation only (the part
+    # the compiled backend replaces), excluding traversal and the
+    # shared prism pass — the denominator of the roofline counters
+    t_kernel = 0.0
+
     # ----- cell (multipole) interactions --------------------------------------
     if len(inter.cell_sink):
         nent = np.diff(inter.cell_indptr)
         stats["cell_interactions"] = int((nent * leaf_np).sum())
     if len(inter.cell_sink) and resolved == "numpy":
+        _tk0 = time.perf_counter()
         mis = multi_index_set(p)
         w = ((-1.0) ** mis.order) / mis.factorial
         cols = _acc_columns(p)
@@ -589,6 +596,7 @@ def _evaluate_forces_csr(
                     np.float64
                 )
             reduce_into(a_contrib.astype(np.float64), p_contrib, a, b, m_p[a:b])
+        t_kernel += time.perf_counter() - _tk0
 
     # ----- particle-particle interactions --------------------------------------
     if len(inter.leaf_sink):
@@ -602,6 +610,7 @@ def _evaluate_forces_csr(
             row_ct[nz_rows] = np.add.reduceat(ct_ent, starts)
         stats["pp_interactions"] = int((row_ct * leaf_np).sum())
     if len(inter.leaf_sink) and resolved == "numpy":
+        _tk0 = time.perf_counter()
         pos_w = tree.pos if dtype is np.float64 else tree.pos.astype(dtype)
         mass_w = tree.mass if dtype is np.float64 else tree.mass.astype(dtype)
         offsets_w = inter.offsets.astype(dtype, copy=False)
@@ -628,13 +637,16 @@ def _evaluate_forces_csr(
             reduce_into(
                 (-(fm[:, None] * dx)).astype(np.float64), p_contrib, a, b, m_p[a:b]
             )
+        t_kernel += time.perf_counter() - _tk0
 
     # ----- compiled m x n-blocked kernel (cell + pp families) ------------------
     if resolved == "compiled" and (len(inter.cell_sink) or len(inter.leaf_sink)):
+        _tk0 = time.perf_counter()
         with tr.span("kernel"):
             kernels.run_csr_kernel(
                 tree, moms, inter, spec, want_potential, s0, acc, pot
             )
+        t_kernel += time.perf_counter() - _tk0
 
     # ----- analytic background cubes -------------------------------------------
     if moms.background:
@@ -671,6 +683,20 @@ def _evaluate_forces_csr(
         acc *= G
         if want_potential:
             pot *= G
+
+    if stats["cell_interactions"] or stats["pp_interactions"]:
+        stats["kernel"] = kernels.kernel_counters(
+            tree,
+            inter,
+            p=p,
+            want_potential=want_potential,
+            seconds=t_kernel,
+            backend=resolved,
+            threads=(
+                kernels.active_kernel_threads() if resolved == "compiled" else 1
+            ),
+            prism_interactions=stats["prism_interactions"],
+        )
 
     if particle_range is not None:
         return ForceResult(acc=acc, pot=pot, stats=stats)

@@ -164,10 +164,12 @@ class Tracer:
         if self.emit_spans and self.sink is not None:
             # t0/t1 are perf_counter stamps (arbitrary origin, shared
             # within the process) so a trace supports lane/timeline
-            # reconstruction, not just per-path totals
+            # reconstruction, not just per-path totals; tid keys the
+            # emitting thread to a lane in trace-event exports
             self.sink.emit(
                 {"type": "span", "path": span.path, "seconds": span.seconds,
-                 "t0": span._t0, "t1": span._t0 + span.seconds}
+                 "t0": span._t0, "t1": span._t0 + span.seconds,
+                 "tid": threading.get_ident()}
             )
 
     @property

@@ -9,9 +9,12 @@ repo accumulates a perf *trajectory* across commits instead of
 overwritten snapshots.  On top of the registry sit per-stage
 cProfile/memory profiling (:mod:`.profiler`), per-worker span-lane
 reconstruction with compute/idle/recovery attribution
-(:mod:`.timeline`), and a robust last-N baseline trend engine
+(:mod:`.timeline`), a robust last-N baseline trend engine
 (:mod:`.trend`) driven by the ``repro-obs`` CLI and wired into
-``repro-diag gate --trend``.
+``repro-diag gate --trend``, standard-format export (Chrome trace
+events, speedscope) plus a live JSONL watch (:mod:`.export`), and
+differential regression attribution that names what moved between two
+records (:mod:`.attribution`).
 
 The default observer is :data:`NULL_OBSERVER` — disabled observation
 costs an attribute test per hook, mirroring the no-op tracer/health
@@ -30,6 +33,14 @@ from .observer import (
     set_observer,
     use_observer,
 )
+from .attribution import attribute, format_attribution
+from .export import (
+    chrome_trace_from_record,
+    chrome_trace_from_spans,
+    speedscope_from_profiler,
+    speedscope_from_record,
+    watch,
+)
 from .profiler import NULL_PROFILER, NullProfiler, StageProfiler, top_functions
 from .registry import OBS_SCHEMA_VERSION, RunRegistry, metric_value
 from .timeline import analyze_timeline, lane_label, render_timeline
@@ -46,8 +57,12 @@ __all__ = [
     "RunRegistry",
     "StageProfiler",
     "analyze_timeline",
+    "attribute",
+    "chrome_trace_from_record",
+    "chrome_trace_from_spans",
     "compare_records",
     "detect_regression",
+    "format_attribution",
     "get_observer",
     "lane_label",
     "measure_disabled_overhead",
@@ -55,7 +70,10 @@ __all__ = [
     "render_timeline",
     "robust_baseline",
     "set_observer",
+    "speedscope_from_profiler",
+    "speedscope_from_record",
     "top_functions",
     "trend_report",
     "use_observer",
+    "watch",
 ]

@@ -11,7 +11,13 @@
 * ``repro-obs trend <metric>`` — fit the last-N baseline with a noise
   band and judge the newest record (exit 2 on regression);
 * ``repro-obs compare <ref> <ref>`` — numeric metric diff between two
-  records.
+  records;
+* ``repro-obs export <ref>`` — Chrome trace-event JSON (worker lanes)
+  and a speedscope flamegraph from a recorded run, or a span-stream
+  trace via ``--spans trace.jsonl``;
+* ``repro-obs diff <ref> <ref>`` — ranked regression attribution: the
+  top moved spans/counters plus backend-change notes;
+* ``repro-obs watch <path>`` — tail a running job's JSONL event stream.
 """
 
 from __future__ import annotations
@@ -22,6 +28,13 @@ import os
 import sys
 
 from ..instrument.report import _table
+from .attribution import attribute, format_attribution
+from .export import (
+    chrome_trace_from_record,
+    chrome_trace_from_spans,
+    speedscope_from_record,
+    watch,
+)
 from .registry import RunRegistry, metric_value
 from .timeline import analyze_timeline, render_timeline
 from .trend import (
@@ -63,6 +76,10 @@ def _cmd_list(args) -> int:
     rows = []
     for r in recs:
         d = r.get("data") or {}
+        state = "partial" if d.get("partial") else "ok"
+        if d.get("backend_fallback"):
+            # a silently degraded backend is a state worth a glance
+            state += "+fb"
         rows.append((
             all_ids.get(r.get("id"), "-"),
             str(r.get("id", ""))[:20],
@@ -72,13 +89,19 @@ def _cmd_list(args) -> int:
             (r.get("git_commit") or "")[:8],
             _fmt_num(metric_value(r, "wall_s")),
             _fmt_num(d.get("steps")),
-            "partial" if d.get("partial") else "ok",
+            state,
         ))
     print(_table(
         f"Registry {reg.path}",
         ["#", "id", "kind", "t", "key", "commit", "wall_s", "steps", "state"],
         rows,
     ))
+    fallbacks = [r for r in recs
+                 if (r.get("data") or {}).get("backend_fallback")]
+    if fallbacks:
+        last = fallbacks[-1]
+        print(f"\n{len(fallbacks)} record(s) ran on a fallback backend; "
+              f"latest reason: {(last['data'] or {}).get('backend_fallback')}")
     return 0
 
 
@@ -216,6 +239,48 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_export(args) -> int:
+    if args.spans:
+        from ..instrument.events import read_jsonl
+
+        trace = chrome_trace_from_spans(read_jsonl(args.spans))
+    else:
+        reg = _registry(args)
+        rec = reg.get(args.ref)
+        trace = chrome_trace_from_record(rec)
+    with open(args.out, "w") as fh:
+        json.dump(trace, fh)
+    n = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+    print(f"wrote {args.out}: {n} events "
+          f"({len(trace['traceEvents'])} total incl. metadata/flows)")
+    if args.speedscope:
+        if args.spans:
+            print("--speedscope needs a registry record, not --spans",
+                  file=sys.stderr)
+            return 1
+        prof = speedscope_from_record(rec)
+        with open(args.speedscope, "w") as fh:
+            json.dump(prof, fh)
+        print(f"wrote {args.speedscope}: {len(prof['profiles'])} stage "
+              f"profile(s), {len(prof['shared']['frames'])} frames")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    reg = _registry(args)
+    a, b = reg.get(args.ref_a), reg.get(args.ref_b)
+    report = attribute(a, b, top=args.top)
+    print(format_attribution(report))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    n = watch(args.path, sys.stdout, follow=not args.once, poll_s=args.poll)
+    if args.once and n == 0:
+        print(f"(no renderable events in {args.path})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro-obs",
@@ -267,6 +332,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("ref_b")
     p.add_argument("--filter", default=None, help="substring metric filter")
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "export",
+        help="Chrome trace (+ speedscope) from a run record or span stream",
+    )
+    p.add_argument("ref", nargs="?", default="-1",
+                   help="record id prefix or index (ignored with --spans)")
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace-event JSON output path")
+    p.add_argument("--speedscope", default=None,
+                   help="also write a speedscope profile here "
+                        "(needs a profiled record)")
+    p.add_argument("--spans", default=None,
+                   help="export a tracer JSONL span stream instead of a record")
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("diff", help="ranked regression attribution A -> B")
+    p.add_argument("ref_a")
+    p.add_argument("ref_b")
+    p.add_argument("--top", type=int, default=8, help="movers to show")
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser("watch", help="tail a running job's JSONL event stream")
+    p.add_argument("path")
+    p.add_argument("--poll", type=float, default=0.5, help="poll interval (s)")
+    p.add_argument("--once", action="store_true",
+                   help="render existing content and exit (no follow)")
+    p.set_defaults(func=_cmd_watch)
     return ap
 
 
@@ -274,7 +367,7 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except LookupError as exc:
+    except (LookupError, FileNotFoundError) as exc:
         print(f"repro-obs: {exc}", file=sys.stderr)
         return 1
     except BrokenPipeError:

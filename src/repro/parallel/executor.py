@@ -756,6 +756,11 @@ class ForceExecutor:
             for key in ("evaluator", "backend", "backend_fallback"):
                 if key in s:
                     stats[key] = s[key]
+        kernel_parts = [s["kernel"] for s in shard_stats.values() if s.get("kernel")]
+        if kernel_parts:
+            from ..gravity.kernels import merge_kernel_counters
+
+            stats["kernel"] = merge_kernel_counters(kernel_parts)
         if any("nonfinite_acc" in s for s in shard_stats.values()):
             bad = {sid: s["nonfinite_acc"] for sid, s in shard_stats.items()
                    if s.get("nonfinite_acc")}

@@ -385,7 +385,9 @@ def main(argv=None) -> int:
         checkpoint_every=args.checkpoint_every, resume=args.resume,
     )
     if args.trace is not None:
-        tr = Tracer(sink=args.trace)
+        # emit_spans: per-span t0/t1 records make the trace exportable
+        # as Chrome trace events (`repro-obs export --spans trace.jsonl`)
+        tr = Tracer(sink=args.trace, emit_spans=True)
         try:
             run_stage(args.config, tracer=tr, **kw)
         finally:

@@ -446,6 +446,14 @@ class Simulation:
                 payload["wall_per_step_s"] = (
                     float(totals.get("step_wall_s", 0.0)) / steps
                 )
+            fb = self.last_stats.get("backend_fallback")
+            if fb:
+                # silent numpy fallbacks become registry-visible (and a
+                # flag in `repro-obs list`), not only per-call stats
+                payload["backend_fallback"] = fb
+            kern = self.last_stats.get("kernel")
+            if kern:
+                payload["kernel"] = kern
             if self.resumed_from:
                 payload["resumed_from"] = self.resumed_from
             health = totals.get("health")
@@ -576,6 +584,16 @@ class Simulation:
                     "stage_seconds": self.last_stats.get("stage_seconds", {}),
                 }
             )
+            fb = self.last_stats.get("backend_fallback")
+            if fb:
+                # one structured event per run: the fallback reason on
+                # the trace stream, so a silently degraded backend is
+                # visible without digging into per-call stats
+                emit({
+                    "type": "backend_fallback",
+                    "backend": self.last_stats.get("backend"),
+                    "reason": fb,
+                })
             if self.health.enabled:
                 health_check(self.health.on_init(self, acc))
             if ckpt_sched is not None:

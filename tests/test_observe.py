@@ -23,12 +23,18 @@ from repro.observe import (
     RunRegistry,
     StageProfiler,
     analyze_timeline,
+    attribute,
+    chrome_trace_from_record,
+    chrome_trace_from_spans,
     detect_regression,
+    format_attribution,
     get_observer,
     measure_disabled_overhead,
     metric_value,
     render_timeline,
     robust_baseline,
+    speedscope_from_profiler,
+    speedscope_from_record,
     trend_report,
     use_observer,
 )
@@ -502,3 +508,408 @@ class TestDiagGateTrend:
 
         assert diag_main(["gate"]) == 2
         assert "need a trace" in capsys.readouterr().err
+
+    def test_gate_trend_regression_names_top_mover(self, tmp_path, capsys):
+        """The failure path attributes the regression: the metric that
+        moved is named span-by-span, not just the gate verdict."""
+        from repro.diagnose.cli import main as diag_main
+
+        reg = RunRegistry(tmp_path / "obs")
+        for w in (1.0, 1.02, 0.98, 1.01, 0.99):
+            reg.record("simulation_run",
+                       {"wall_per_step_s": w,
+                        "stage_seconds": {"evaluate": 0.5 * w}},
+                       key="k")
+        reg.record("simulation_run",
+                   {"wall_per_step_s": 2.3,
+                    "stage_seconds": {"evaluate": 1.7},
+                    "backend_fallback": "numba not installed"},
+                   key="k")
+        rc = diag_main(["gate", "--trend", "wall_per_step_s",
+                        "--obs-dir", str(reg.root)])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "GATE FAILED" in err
+        assert "attribution" in err
+        assert "top movers" in err
+        assert "wall_per_step_s" in err and "stage_seconds.evaluate" in err
+        assert "backend fell back" in err
+
+
+# ----- trace export ------------------------------------------------------------
+
+
+def _timeline_record(tmp_path, calls=2):
+    """Registry with one record carrying a synthetic multi-call timeline."""
+    reg = RunRegistry(tmp_path / "obs")
+    tl = [_fake_call(c) for c in range(1, calls + 1)]
+    reg.record(KIND_RUN, {"wall_s": 1.0, "steps": calls, "timeline": tl,
+                          "worker_summary": analyze_timeline(tl)}, key="k")
+    return reg, reg.last()
+
+
+def _lane_busy_seconds(trace):
+    """Per-lane busy seconds summed from a trace's shard X events."""
+    lane_of = {e["tid"]: e["args"]["name"] for e in trace["traceEvents"]
+               if e["ph"] == "M" and e["name"] == "thread_name"}
+    busy = {}
+    for e in trace["traceEvents"]:
+        if e["ph"] == "X" and e.get("cat") == "shard":
+            label = lane_of[e["tid"]]
+            busy[label] = busy.get(label, 0.0) + e["dur"] / 1e6
+    return busy
+
+
+class TestTraceExport:
+    def test_chrome_trace_schema(self, tmp_path):
+        _, rec = _timeline_record(tmp_path)
+        trace = chrome_trace_from_record(rec)
+        events = trace["traceEvents"]
+        # only complete ("X") timed events — no B/E pairs to balance —
+        # plus "M" metadata (which carries no ts) and "s"/"f" flows
+        assert {e["ph"] for e in events} <= {"M", "X", "s", "f"}
+        ts = [e["ts"] for e in events if "ts" in e]
+        assert ts == sorted(ts)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert all(e["dur"] >= 0 for e in xs)
+        # 2 calls x (1 call-summary + 3 shards)
+        assert len(xs) == 8
+        lanes = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert lanes == {"force calls", "w0", "w1"}
+        assert trace["otherData"]["record_id"] == rec["id"]
+        json.dumps(trace)  # serializable as-is
+
+    def test_lanes_match_timeline_attribution(self, tmp_path):
+        _, rec = _timeline_record(tmp_path)
+        busy = _lane_busy_seconds(chrome_trace_from_record(rec))
+        summary = analyze_timeline(rec["data"]["timeline"])
+        assert set(busy) == set(summary["lanes"])
+        for label, lane in summary["lanes"].items():
+            assert busy[label] == pytest.approx(
+                lane["compute_s"] + lane["recovery_s"], abs=1e-9)
+
+    def test_recovery_flow_events(self, tmp_path):
+        _, rec = _timeline_record(tmp_path)
+        flows = [e for e in chrome_trace_from_record(rec)["traceEvents"]
+                 if e["ph"] in ("s", "f")]
+        # the attempt=1 shard of each call gets one s/f arrow pair,
+        # keyed call:shard, from the call start to the re-dispatch
+        assert len(flows) == 4
+        starts = {e["id"] for e in flows if e["ph"] == "s"}
+        ends = {e["id"] for e in flows if e["ph"] == "f"}
+        assert starts == ends == {"1:2", "2:2"}
+
+    def test_no_timeline_raises(self, tmp_path):
+        reg = _seed_registry(tmp_path)
+        with pytest.raises(LookupError):
+            chrome_trace_from_record(reg.last())
+
+    def test_span_stream_export(self, tmp_path):
+        from repro.instrument import Tracer, read_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        tr = Tracer(sink=path, emit_spans=True)
+        with tr.span("force"):
+            with tr.span("build"):
+                pass
+        tr.close()
+        trace = chrome_trace_from_spans(read_jsonl(path))
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {"force", "force/build"}
+        ts = [e["ts"] for e in trace["traceEvents"] if "ts" in e]
+        assert ts == sorted(ts)
+        with pytest.raises(LookupError):
+            chrome_trace_from_spans([{"type": "step"}])
+
+    def test_real_workers2_export(self, tmp_path):
+        """Export of a real sharded run: per-worker lane busy time in
+        the trace equals timeline.py's compute+recovery attribution."""
+        obs = Observer(ObserveConfig(dir=tmp_path / "obs"))
+        with use_observer(obs):
+            with Simulation(short_config(workers=2, a_final=0.12)) as sim:
+                sim.run()
+        rec = obs.registry.last(kind=KIND_RUN)
+        trace = chrome_trace_from_record(rec)
+        busy = _lane_busy_seconds(trace)
+        summary = analyze_timeline(rec["data"]["timeline"])
+        assert set(busy) == set(summary["lanes"])
+        for label, lane in summary["lanes"].items():
+            assert busy[label] == pytest.approx(
+                lane["compute_s"] + lane["recovery_s"], rel=1e-6)
+        ts = [e["ts"] for e in trace["traceEvents"] if "ts" in e]
+        assert ts == sorted(ts)
+
+    def test_export_cli(self, tmp_path, capsys):
+        reg, _ = _timeline_record(tmp_path)
+        out = tmp_path / "t.json"
+        assert obs_main(["--dir", str(reg.root), "export", "-1",
+                         "--out", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        trace = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_export_cli_spans(self, tmp_path, capsys):
+        from repro.instrument import Tracer
+
+        path = tmp_path / "spans.jsonl"
+        tr = Tracer(sink=path, emit_spans=True)
+        with tr.span("step"):
+            pass
+        tr.close()
+        out = tmp_path / "t.json"
+        assert obs_main(["export", "--spans", str(path),
+                         "--out", str(out)]) == 0
+        capsys.readouterr()
+        trace = json.loads(out.read_text())
+        assert any(e["ph"] == "X" and e["name"] == "step"
+                   for e in trace["traceEvents"])
+
+
+# ----- speedscope --------------------------------------------------------------
+
+
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+
+class TestSpeedscope:
+    def test_from_record(self):
+        rec = {"id": "r" * 24, "data": {"profile": {"stages": {"step": {
+            "hot": [
+                {"function": "f", "where": "a.py:10", "self_s": 0.5},
+                {"function": "g", "where": "b.py:20", "self_s": 0.25},
+                {"function": "zero", "where": "c.py:1", "self_s": 0.0},
+            ]}}}}}
+        doc = speedscope_from_record(rec)
+        assert doc["$schema"] == SPEEDSCOPE_SCHEMA
+        frames = doc["shared"]["frames"]
+        # zero-self-time rows are dropped from the flamegraph
+        assert {f["name"] for f in frames} == {"f", "g"}
+        assert {f["line"] for f in frames} == {10, 20}
+        (prof,) = doc["profiles"]
+        assert prof["type"] == "sampled" and prof["unit"] == "seconds"
+        assert prof["weights"] == [0.5, 0.25]
+        assert prof["endValue"] == pytest.approx(0.75)
+        assert all(0 <= s[0] < len(frames) for s in prof["samples"])
+        with pytest.raises(LookupError):
+            speedscope_from_record({"data": {}})
+
+    def test_from_live_profiler(self):
+        prof = StageProfiler(cprofile=True, top_n=3)
+        prof.start()
+        with prof.stage("step"):
+            _burn()
+        prof.stop()
+        doc = speedscope_from_profiler(prof)
+        assert doc["$schema"] == SPEEDSCOPE_SCHEMA
+        step = next(p for p in doc["profiles"] if p["name"] == "step")
+        assert step["samples"] and len(step["samples"]) == len(step["weights"])
+        assert all(w > 0 for w in step["weights"])
+        names = {doc["shared"]["frames"][s[0]]["name"] for s in step["samples"]}
+        assert any("_burn" in n for n in names)
+
+
+# ----- in-kernel roofline counters ---------------------------------------------
+
+
+class TestKernelCounters:
+    def _solve(self, backend="numpy", workers=0):
+        import numpy as np
+
+        from repro.gravity import TreecodeConfig, TreecodeGravity
+
+        rng = np.random.default_rng(3)
+        pos = rng.random((512, 3))
+        mass = np.full(512, 1.0 / 512)
+        cfg = TreecodeConfig(p=2, errtol=1e-3, nleaf=16, periodic=True,
+                             background=True, traversal="hierarchical",
+                             backend=backend, workers=workers)
+        with TreecodeGravity(cfg) as solver:
+            return solver.compute(pos, mass, box=1.0)
+
+    def test_counters_agree_with_perfmodel(self):
+        from repro.perfmodel.flops import (
+            FLOPS_PER_MONOPOLE_PP,
+            flops_per_cell_interaction,
+        )
+
+        res = self._solve()
+        k = res.stats["kernel"]
+        assert k["backend"] == "numpy"
+        # counter cross-check: the kernel recomputes the interaction
+        # split from the CSR lists; it must match the solver's counters
+        assert k["cell_interactions"] == res.stats["cell_interactions"]
+        assert k["pp_interactions"] == res.stats["pp_interactions"]
+        assert k["prism_interactions"] == res.stats["prism_interactions"]
+        # flop accounting is the perfmodel count, exactly
+        expected = (
+            res.stats["cell_interactions"]
+            * flops_per_cell_interaction(2, want_potential=True)
+            + (res.stats["pp_interactions"] + res.stats["prism_interactions"])
+            * FLOPS_PER_MONOPOLE_PP
+        )
+        assert k["flops"] == pytest.approx(expected, rel=1e-9)
+        assert k["seconds"] > 0
+        assert k["interactions_per_s"] > 0 and k["gflops"] > 0
+        assert 0 < k["tile_occupancy"] <= 1.0
+        assert k["m_max"] >= k["m_mean"] > 0
+        assert 0 < k["model_fraction"] < 1.0  # numpy is below the roofline
+        assert k["threads"] == 1 and k["thread_utilization"] == 1.0
+
+    def test_interpreted_compiled_backend_counts_match(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_PYKERNEL", "1")
+        compiled = self._solve(backend="compiled")
+        monkeypatch.delenv("REPRO_FORCE_PYKERNEL")
+        numpy_k = self._solve().stats["kernel"]
+        k = compiled.stats["kernel"]
+        assert k["backend"] == "compiled"
+        # identical accounting across backends: same interaction split,
+        # same flop count, only the measured seconds differ
+        assert k["interactions"] == numpy_k["interactions"]
+        assert k["flops"] == numpy_k["flops"]
+
+    def test_sharded_merge_preserves_totals(self):
+        serial = self._solve().stats["kernel"]
+        sharded = self._solve(workers=2).stats["kernel"]
+        assert sharded["interactions"] == serial["interactions"]
+        assert sharded["flops"] == pytest.approx(serial["flops"])
+        assert sharded["rows"] == serial["rows"]
+        assert 0 < sharded["tile_occupancy"] <= 1.0
+        assert sharded["interactions_per_s"] > 0
+
+
+# ----- attribution (repro-obs diff) --------------------------------------------
+
+
+class TestAttribution:
+    def _recs(self):
+        a = {"id": "aaa", "t": "2026-01-01T00:00:00", "git_commit": "c1" * 6,
+             "data": {"wall_per_step_s": 1.0,
+                      "stage_seconds": {"evaluate": 0.5, "traverse": 0.2},
+                      "tiny_span_s": 2e-6,
+                      "kernel": {"interactions_per_s": 2.9e6},
+                      "backend": "compiled"}}
+        b = {"id": "bbb", "t": "2026-01-02T00:00:00", "git_commit": "c2" * 6,
+             "data": {"wall_per_step_s": 2.3,
+                      "stage_seconds": {"evaluate": 1.7, "traverse": 0.21},
+                      "tiny_span_s": 2e-5,
+                      "kernel": {"interactions_per_s": 2.2e6},
+                      "backend": "numpy",
+                      "backend_fallback": "numba not installed"}}
+        return a, b
+
+    def test_ranks_seconds_moved_over_ratio(self):
+        a, b = self._recs()
+        report = attribute(a, b)
+        movers = [m["metric"] for m in report["movers"]]
+        # a 10x blowup of a 2 microsecond span must not outrank the
+        # 1.2 s evaluate swing: time movers rank by seconds moved
+        assert movers[0] == "wall_per_step_s"
+        assert movers[1] == "stage_seconds.evaluate"
+        assert movers.index("tiny_span_s") > movers.index(
+            "stage_seconds.evaluate")
+        # 5% jitter on traverse is below the 1.05x noise floor
+        assert "stage_seconds.traverse" not in movers
+        evaluate = report["movers"][1]
+        assert evaluate["ratio"] == pytest.approx(3.4)
+        assert evaluate["kind"] == "time"
+        # a rate is a counter despite the _s suffix: its huge raw delta
+        # (7e5 "seconds") must not bury the real time movers
+        rate = next(m for m in report["movers"]
+                    if m["metric"] == "kernel.interactions_per_s")
+        assert rate["kind"] == "counter"
+        assert movers.index("kernel.interactions_per_s") \
+            > movers.index("tiny_span_s")
+
+    def test_backend_fallback_note(self):
+        a, b = self._recs()
+        notes = attribute(a, b)["notes"]
+        assert any("backend fell back to numpy: numba not installed" in n
+                   for n in notes)
+        assert any("backend changed" in n for n in notes)
+        # reverse direction: fallback cleared
+        back = attribute(b, a)["notes"]
+        assert any("fallback cleared" in n for n in back)
+
+    def test_appeared_and_vanished_metrics_noted(self):
+        a = {"id": "a", "data": {"old_s": 1.0, "shared": 1.0}}
+        b = {"id": "b", "data": {"new_s": 1.0, "shared": 1.0}}
+        notes = attribute(a, b)["notes"]
+        assert any("new in B: new_s" in n for n in notes)
+        assert any("gone in B: old_s" in n for n in notes)
+
+    def test_format_and_diff_cli(self, tmp_path, capsys):
+        reg = _seed_registry(tmp_path)
+        reg.record("simulation_run",
+                   {"wall_per_step_s": 2.3, "wall_s": 23.0, "steps": 10,
+                    "backend_fallback": "numba not installed"},
+                   key="k")
+        assert obs_main(["--dir", str(reg.root), "diff", "1", "-1"]) == 0
+        out = capsys.readouterr().out
+        assert "top movers (B vs A):" in out
+        assert "wall_per_step_s" in out and "+2.30x" in out
+        assert "note: backend fell back" in out
+
+    def test_quiet_when_nothing_moved(self):
+        a = {"id": "a", "data": {"wall_s": 1.0}}
+        b = {"id": "b", "data": {"wall_s": 1.001}}
+        txt = format_attribution(attribute(a, b))
+        assert "no metric moved beyond the noise floor" in txt
+
+
+# ----- stream watch ------------------------------------------------------------
+
+
+class TestWatch:
+    def test_renders_known_events(self, tmp_path, capsys):
+        from repro.observe.export import render_event, watch
+
+        stream = tmp_path / "events.jsonl"
+        with open(stream, "w") as fh:
+            for rec in (
+                {"type": "init_force", "a": 0.1, "wall": 1.5},
+                {"type": "step", "step": 3, "a": 0.11, "dlna": 0.01,
+                 "wall": 0.8, "interactions_per_particle": 950.0},
+                {"type": "backend_fallback", "backend": "numpy",
+                 "reason": "numba not installed"},
+                {"type": "span", "path": "x", "seconds": 1.0},  # skipped
+                {"type": "run_totals", "steps": 3, "wall_s": 4.1,
+                 "partial": True},
+            ):
+                fh.write(json.dumps(rec) + "\n")
+        buf = io.StringIO()
+        n = watch(stream, buf, follow=False)
+        out = buf.getvalue()
+        assert n == 4  # the span record renders to nothing
+        assert "init force" in out
+        assert "step    3" in out
+        assert "backend fallback -> numpy: numba not installed" in out
+        assert "[PARTIAL]" in out
+        assert render_event({"type": "metrics"}) is None
+
+    def test_watch_cli_once(self, tmp_path, capsys):
+        stream = tmp_path / "events.jsonl"
+        stream.write_text(json.dumps({"type": "checkpoint", "step": 5,
+                                      "path": "ck.sdf"}) + "\n")
+        assert obs_main(["watch", str(stream), "--once"]) == 0
+        assert "checkpoint step 5" in capsys.readouterr().out
+        assert obs_main(["watch", str(tmp_path / "empty.jsonl"),
+                         "--once"]) == 0
+        assert "no renderable events" in capsys.readouterr().out
+
+
+# ----- backend-fallback surfacing ----------------------------------------------
+
+
+class TestFallbackSurfacing:
+    def test_list_flags_fallback_records(self, tmp_path, capsys):
+        reg = _seed_registry(tmp_path)
+        reg.record("simulation_run",
+                   {"wall_per_step_s": 1.0, "wall_s": 10.0, "steps": 10,
+                    "backend_fallback": "numba not installed"},
+                   key="k")
+        assert obs_main(["--dir", str(reg.root), "list"]) == 0
+        out = capsys.readouterr().out
+        assert "ok+fb" in out
+        assert "1 record(s) ran on a fallback backend" in out
+        assert "numba not installed" in out
