@@ -4,25 +4,45 @@
 checkpointing every 4 hours with an expected failure every 80 hours
 costs 2 hours in I/O [per 80 h] and saves 4-8 hours of re-computation."
 Regenerated: the analytic optimum lands at 4 hours, and the failing-run
-simulation confirms the trade-off.
+simulation confirms the trade-off.  The full analysis is written as a
+``BENCH_checkpoint.json`` receipt through the shared
+:func:`_simlib.emit_bench` envelope so the run observatory can trend it
+like every other bench.
 """
+
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from _simlib import once, print_table
+from _simlib import emit_bench, once, print_table
 from repro.perfmodel import expected_overhead, optimal_interval, simulate_run
 
 WRITE_H = 0.1  # 6 minutes
 MTBF_H = 80.0
 
+OUT_PATH = Path(__file__).parent / "BENCH_checkpoint.json"
+
+
+def overhead_curve() -> list[tuple[float, float]]:
+    taus = [1.0, 2.0, 4.0, 8.0, 16.0, 40.0]
+    return [(t, expected_overhead(t, WRITE_H, MTBF_H)) for t in taus]
+
+
+def simulated_overheads() -> list[tuple[float, float]]:
+    rng = np.random.default_rng(3)
+    work = 320.0  # the paper's ~4-job production run scale
+    rows = []
+    for tau in (1.0, 4.0, 20.0):
+        walls = [
+            simulate_run(work, tau, WRITE_H, MTBF_H, rng=rng) for _ in range(20)
+        ]
+        rows.append((tau, float(np.mean(walls)) / work - 1.0))
+    return rows
+
 
 def test_checkpoint_optimum(benchmark):
-    def run():
-        taus = [1.0, 2.0, 4.0, 8.0, 16.0, 40.0]
-        return [(t, expected_overhead(t, WRITE_H, MTBF_H)) for t in taus]
-
-    rows = once(benchmark, run)
+    rows = once(benchmark, overhead_curve)
     print_table(
         "§3.4.2: checkpoint overhead vs interval (6 min write, 80 h MTBF)",
         ["interval (h)", "overhead fraction"],
@@ -36,18 +56,7 @@ def test_checkpoint_optimum(benchmark):
 
 
 def test_checkpoint_simulation_confirms(benchmark):
-    def run():
-        rng = np.random.default_rng(3)
-        work = 320.0  # the paper's ~4-job production run scale
-        rows = []
-        for tau in (1.0, 4.0, 20.0):
-            walls = [
-                simulate_run(work, tau, WRITE_H, MTBF_H, rng=rng) for _ in range(20)
-            ]
-            rows.append((tau, float(np.mean(walls)) / work - 1.0))
-        return rows
-
-    rows = once(benchmark, run)
+    rows = once(benchmark, simulated_overheads)
     print_table(
         "§3.4.2: simulated overhead of a failing 320 h run",
         ["interval (h)", "measured overhead"],
@@ -76,3 +85,30 @@ def test_io_cost_accounting(benchmark):
     )
     assert io_cost == pytest.approx(2.0)
     assert loss < 4.0
+
+
+def test_checkpoint_receipt():
+    """Write the §3.4.2 analysis as a trend-gateable bench receipt."""
+    tau_star = optimal_interval(WRITE_H, MTBF_H)
+    doc = emit_bench("checkpoint", {
+        "type": "bench_checkpoint",
+        "mode": "analytic",
+        "write_h": WRITE_H,
+        "mtbf_h": MTBF_H,
+        "optimal_interval_h": round(tau_star, 6),
+        "overhead_vs_interval": [
+            {"interval_h": t, "overhead": round(o, 6)} for t, o in overhead_curve()
+        ],
+        "simulated_overhead": [
+            {"interval_h": t, "overhead": round(o, 6)}
+            for t, o in simulated_overheads()
+        ],
+        "io_cost_per_mtbf_h": round((MTBF_H / 4.0) * WRITE_H, 6),
+    }, OUT_PATH)
+    print(f"wrote {OUT_PATH}")
+    assert doc["optimal_interval_h"] == pytest.approx(4.0, rel=1e-9)
+    assert doc["bench_schema"] >= 1
+
+
+if __name__ == "__main__":
+    test_checkpoint_receipt()

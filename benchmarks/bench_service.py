@@ -1,0 +1,112 @@
+"""Job-service throughput and recovery-overhead bench (ISSUE 9).
+
+Runs the same 4-job evolve sweep through the crash-safe service twice:
+
+* **clean** — no faults; measures steady-state throughput (jobs/hour)
+  and queue latency (p50/p99 of submitted -> started).
+* **faulted** — one job is SIGKILLed mid-run by the deterministic
+  service fault plan and must recover through backoff + checkpoint
+  resume; the extra wall-clock over the clean sweep is the *recovery
+  overhead* the §3.4.2 economics say a checkpointed restart should
+  keep small.
+
+The receipt (``BENCH_service.json``) goes through the shared
+:func:`_simlib.emit_bench` envelope so the observatory trends it.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from _simlib import emit_bench
+from repro.pipeline.run_stage import run_stage
+from repro.service import JobService, ServiceConfig
+
+OUT_PATH = Path(__file__).parent / "BENCH_service.json"
+
+N_JOBS = 4
+N_PER_DIM = 6
+
+IC_CFG = {
+    "stage": "ic", "n_per_dim": N_PER_DIM, "box_mpc_h": 100.0, "a_init": 0.02,
+    "seed": 11, "omega_m": 0.3, "omega_b": 0.05, "h": 0.7, "sigma8": 0.8,
+    "n_s": 0.96, "output": "ic.sdf",
+}
+
+
+def _evolve_cfg(ic_sdf: Path, i: int) -> dict:
+    return {
+        "stage": "evolve", "input": str(ic_sdf), "a_final": 0.05,
+        "errtol": 0.1, "snapshot_base": "snap", "snapshots_a": [0.05],
+        "sweep_id": i,  # distinct dedup keys for an otherwise identical sweep
+    }
+
+
+def _sweep(root: Path, ic_sdf: Path, faults: str | None) -> dict:
+    svc = JobService(
+        root, ServiceConfig(max_concurrent=2, backoff_base_s=0.1),
+        faults=faults,
+    )
+    for i in range(N_JOBS):
+        svc.submit(_evolve_cfg(ic_sdf, i), name=f"sweep{i}",
+                   heartbeat_timeout_s=120.0)
+    metrics = svc.serve_forever()
+    assert metrics["failed"] == 0, metrics
+    assert metrics["done"] == N_JOBS, metrics
+    return metrics
+
+
+def run() -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench_service_") as td:
+        td = Path(td)
+        icdir = td / "ic"
+        icdir.mkdir()
+        cfg_path = icdir / "ic.json"
+        cfg_path.write_text(json.dumps(IC_CFG))
+        run_stage(cfg_path, workdir=icdir)
+        ic_sdf = icdir / "ic.sdf"
+
+        clean = _sweep(td / "clean", ic_sdf, faults=None)
+        faulted = _sweep(
+            td / "faulted", ic_sdf,
+            faults="kill:job=sweep0,events=3",
+        )
+    assert faulted["kills"] == 1 and faulted["retries"] == 1, faulted
+    recovery_s = max(faulted["serve_wall_s"] - clean["serve_wall_s"], 0.0)
+    return {
+        "type": "bench_service",
+        "mode": "smoke",
+        "n_jobs": N_JOBS,
+        "n_particles": N_PER_DIM**3,
+        "max_concurrent": 2,
+        "clean": clean,
+        "faulted": faulted,
+        "jobs_per_hour": clean["jobs_per_hour"],
+        "queue_wait_p50_s": clean["queue_wait_p50_s"],
+        "queue_wait_p99_s": clean["queue_wait_p99_s"],
+        "recovery_overhead_s": round(recovery_s, 6),
+        "recovery_overhead_frac": round(
+            recovery_s / clean["serve_wall_s"], 4
+        ) if clean["serve_wall_s"] else None,
+    }
+
+
+def test_service_receipt():
+    doc = emit_bench("service", run(), OUT_PATH)
+    print(f"wrote {OUT_PATH}")
+    print(
+        f"\n=== Job service ({doc['n_jobs']} jobs, 2 concurrent) ===\n"
+        f"clean: {doc['clean']['serve_wall_s']:.2f}s wall  "
+        f"{doc['jobs_per_hour']:.0f} jobs/h  "
+        f"p50 wait {doc['queue_wait_p50_s']:.2f}s  "
+        f"p99 {doc['queue_wait_p99_s']:.2f}s\n"
+        f"faulted (1 kill): {doc['faulted']['serve_wall_s']:.2f}s wall  "
+        f"recovery overhead {doc['recovery_overhead_s']:.2f}s "
+        f"({doc['recovery_overhead_frac']:.0%} of clean)"
+    )
+    assert doc["faulted"]["resumed_jobs"] >= 1
+    assert doc["jobs_per_hour"] > 0
+
+
+if __name__ == "__main__":
+    test_service_receipt()

@@ -99,8 +99,15 @@ def _make_progress(a_final: float) -> _ProgressLine | None:
     return None
 
 
+#: exit status of a preempted stage (BSD EX_TEMPFAIL): the run honoured
+#: the §3.4.1 courtesy — final checkpoint written, safe to resume — so
+#: supervisors (the job service) retry with ``--resume`` at no cost to
+#: the retry budget
+EXIT_PREEMPTED = 75
+
+
 def run_stage(config_path, workdir=None, tracer=None, workers=None, health=None,
-              checkpoint_every=None, resume=None) -> dict:
+              checkpoint_every=None, resume=None, checkpoint_dir=None) -> dict:
     """Run the stage described by a generated JSON config.
 
     Returns a small result summary dict (also printed).  Paths inside
@@ -116,9 +123,11 @@ def run_stage(config_path, workdir=None, tracer=None, workers=None, health=None,
     to the tracer's sink, a run-provenance manifest is written next to
     the stage config, and the summary gains the event counts.
     ``checkpoint_every`` makes the evolve stage write a durable
-    checkpoint every N steps under ``<workdir>/checkpoints``;
-    ``resume`` restarts the evolve stage from the newest valid
-    checkpoint there (corrupted files are skipped, already-written
+    checkpoint every N steps under ``<workdir>/checkpoints``
+    (``checkpoint_dir`` overrides the directory — the job service gives
+    every job a private store so sweeps sharing a workdir cannot
+    collide); ``resume`` restarts the evolve stage from the newest
+    valid checkpoint there (corrupted files are skipped, already-written
     snapshots are not recomputed).
     """
     config_path = Path(config_path)
@@ -135,6 +144,8 @@ def run_stage(config_path, workdir=None, tracer=None, workers=None, health=None,
         cfg["checkpoint_every"] = int(checkpoint_every)
     if resume is not None:
         cfg["resume"] = bool(resume)
+    if checkpoint_dir is not None:
+        cfg["checkpoint_dir"] = str(checkpoint_dir)
     stage = cfg.get("stage")
     fn = _STAGES.get(stage)
     if fn is None:
@@ -228,7 +239,7 @@ def _stage_evolve(cfg, workdir):
     if ckpt_every > 0 or want_resume:
         from ..resilience import CheckpointStore
 
-        store = CheckpointStore(workdir / "checkpoints")
+        store = CheckpointStore(cfg.get("checkpoint_dir") or workdir / "checkpoints")
 
     sim = None
     resumed_from = None
@@ -362,6 +373,15 @@ def main(argv=None) -> int:
         help="stream structured trace/health events to this JSONL file",
     )
     parser.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="resolve stage paths against DIR (default: the config's directory)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="evolve stage: checkpoint store directory "
+             "(default: <workdir>/checkpoints)",
+    )
+    parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="force-solve worker processes (default: config or REPRO_WORKERS)",
     )
@@ -380,20 +400,31 @@ def main(argv=None) -> int:
              "under <workdir>/checkpoints (corrupted files are skipped)",
     )
     args = parser.parse_args(argv)
+    from ..simulation import Preempted
+
     kw = dict(
-        workers=args.workers, health=args.health,
+        workdir=args.workdir, workers=args.workers, health=args.health,
         checkpoint_every=args.checkpoint_every, resume=args.resume,
+        checkpoint_dir=args.checkpoint_dir,
     )
-    if args.trace is not None:
-        # emit_spans: per-span t0/t1 records make the trace exportable
-        # as Chrome trace events (`repro-obs export --spans trace.jsonl`)
-        tr = Tracer(sink=args.trace, emit_spans=True)
-        try:
-            run_stage(args.config, tracer=tr, **kw)
-        finally:
-            tr.close()
-    else:
-        run_stage(args.config, **kw)
+    try:
+        if args.trace is not None:
+            # emit_spans: per-span t0/t1 records make the trace exportable
+            # as Chrome trace events (`repro-obs export --spans trace.jsonl`)
+            tr = Tracer(sink=args.trace, emit_spans=True)
+            try:
+                run_stage(args.config, tracer=tr, **kw)
+            finally:
+                tr.close()
+        else:
+            run_stage(args.config, **kw)
+    except Preempted as exc:
+        # the stage checkpointed and drained cleanly; a supervisor can
+        # resume it bit-identically — distinguish that from a crash
+        print(json.dumps({"preempted": True, "error": str(exc),
+                          "checkpoint": str(exc.checkpoint or "")}),
+              file=sys.stderr)
+        return EXIT_PREEMPTED
     return 0
 
 

@@ -124,6 +124,33 @@ class STaskQueue:
             self.events.append((now, "end", t.name))
             try_start()
 
+        # tasks that never started split into two very different stories:
+        # *unstarted* (resources/walltime ran out — rerunnable as-is) vs
+        # *blocked* (a dependency was preempted or itself never ran, so
+        # no amount of walltime would have helped).  Folding both into
+        # one count hid dependency deadlocks; report them separately and
+        # emit a "blocked" event per task so the timeline shows why.
+        blocked: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for t in self.tasks:
+                if t.start_s is not None or t.name in blocked:
+                    continue
+                for d in t.depends_on:
+                    dep = next((x for x in self.tasks if x.name == d), None)
+                    if (
+                        dep is None
+                        or dep.preempted
+                        or dep.start_s is None
+                        or d in blocked
+                    ):
+                        blocked.add(t.name)
+                        changed = True
+                        break
+        for name in sorted(blocked):
+            self.events.append((now, "blocked", name))
+
         used_core_s = sum(
             (t.end_s - t.start_s) * t.cores for t in self.tasks if t.start_s is not None
         )
@@ -133,7 +160,10 @@ class STaskQueue:
             "makespan_s": span,
             "completed": sum(t.done for t in self.tasks),
             "preempted": sum(t.preempted for t in self.tasks),
-            "unstarted": sum(t.start_s is None for t in self.tasks),
+            "blocked": len(blocked),
+            "unstarted": sum(
+                t.start_s is None and t.name not in blocked for t in self.tasks
+            ),
         }
 
 

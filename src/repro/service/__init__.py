@@ -1,0 +1,45 @@
+"""Crash-safe simulation job service (ISSUE 9).
+
+Durable queue + retry/backoff + timeouts + admission control +
+checkpoint-aware auto-resume over the pipeline's stage runner.  The
+journal (:mod:`~repro.service.journal`) is the single source of truth;
+the scheduler (:mod:`~repro.service.scheduler`) supervises the
+subprocesses; ``repro-serve`` (:mod:`~repro.service.cli`) operates it.
+"""
+
+from .faults import SERVICE_FAULTS_ENV, ServiceFaultClause, ServiceFaultPlan
+from .jobs import (
+    STATES,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    InvalidTransition,
+    Job,
+    JobSpec,
+    QueueFull,
+    ServiceError,
+    UnknownJob,
+    deterministic_jitter,
+)
+from .journal import SERVICE_SCHEMA_VERSION, JobJournal, ReplayState
+from .scheduler import JobService, ServiceConfig
+
+__all__ = [
+    "SERVICE_FAULTS_ENV",
+    "SERVICE_SCHEMA_VERSION",
+    "STATES",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "InvalidTransition",
+    "Job",
+    "JobJournal",
+    "JobService",
+    "JobSpec",
+    "QueueFull",
+    "ReplayState",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceFaultClause",
+    "ServiceFaultPlan",
+    "UnknownJob",
+    "deterministic_jitter",
+]

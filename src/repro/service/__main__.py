@@ -1,0 +1,6 @@
+"""``python -m repro.service`` == the ``repro-serve`` CLI."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,282 @@
+"""``repro-serve`` — operate the crash-safe simulation job service.
+
+Every subcommand works against one service directory (``--dir``,
+default ``./service``).  Submission, status and cancellation talk to
+the durable journal, so they work whether or not a serving process is
+currently alive — a server picks up cross-process submissions by
+tailing the journal.
+
+Typical loop::
+
+    repro-serve --dir svc sweep evolve.json --grid seed=1,2,3,4
+    repro-serve --dir svc serve            # run until the queue drains
+    repro-serve --dir svc status
+    repro-serve --dir svc logs evolve-1a2b3c4d --stderr
+    repro-serve --dir svc drain            # checkpoint + stop a server
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .jobs import QueueFull, ServiceError
+from .scheduler import JobService, ServiceConfig
+
+__all__ = ["main"]
+
+
+def _spec_kw(args) -> dict:
+    kw = dict(
+        name=args.name or "",
+        submitter=args.submitter,
+        workers=args.workers,
+        cores=args.cores,
+        timeout_s=args.timeout,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        max_retries=args.retries,
+        checkpoint_every=args.checkpoint_every,
+        cache=not args.no_cache,
+    )
+    if args.workdir:
+        kw["workdir"] = args.workdir
+    return kw
+
+
+def _add_spec_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--name", default=None, help="display name for the job")
+    p.add_argument("--submitter", default="local",
+                   help="fairness bucket (round-robin across submitters)")
+    p.add_argument("--workdir", default=None,
+                   help="resolve stage paths here (default: the private job dir)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="force-solve worker processes inside the job")
+    p.add_argument("--cores", type=int, default=1,
+                   help="admission weight against the service core budget")
+    p.add_argument("--timeout", type=float, default=0.0, metavar="S",
+                   help="per-attempt wall-clock cap (0 = none)")
+    p.add_argument("--heartbeat-timeout", type=float, default=0.0, metavar="S",
+                   help="kill an attempt whose event stream stalls this long")
+    p.add_argument("--retries", type=int, default=2,
+                   help="failure-driven retries before the job fails for good")
+    p.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                   help="durable checkpoint cadence in steps (0 = off)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="opt out of dedup/result caching for this submission")
+
+
+def _parse_grid(items: list[str]) -> dict:
+    """``key=v1,v2,...`` pairs -> {key: [parsed values]} (JSON else str)."""
+    grid = {}
+    for item in items:
+        key, sep, vals = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--grid wants key=v1,v2,... (got {item!r})")
+        parsed = []
+        for raw in vals.split(","):
+            try:
+                parsed.append(json.loads(raw))
+            except json.JSONDecodeError:
+                parsed.append(raw)
+        grid[key] = parsed
+    return grid
+
+
+def _expand(base: dict, grid: dict) -> list[dict]:
+    """Cross-product sweep over the base config (insertion-ordered)."""
+    configs = [dict(base)]
+    for key, values in grid.items():
+        configs = [{**cfg, key: v} for cfg in configs for v in values]
+    return configs
+
+
+def _print_submitted(job) -> None:
+    note = ""
+    if job.state == "done" and job.cached_from:
+        note = f"  [cache hit <- {job.cached_from}]"
+    elif job.attached_to:
+        note = f"  [attached -> {job.attached_to}]"
+    print(f"{job.id}  {job.name}  {job.state}{note}")
+
+
+_STATE_ORDER = {s: i for i, s in enumerate(
+    ("running", "admitted", "retrying", "queued", "done", "failed", "cancelled")
+)}
+
+
+def cmd_submit(svc: JobService, args) -> int:
+    try:
+        job = svc.submit(args.config, **_spec_kw(args))
+    except QueueFull as exc:
+        print(f"rejected: {exc}", file=sys.stderr)
+        return 2
+    _print_submitted(job)
+    return 0
+
+
+def cmd_sweep(svc: JobService, args) -> int:
+    base = json.loads(open(args.config).read())
+    configs = _expand(base, _parse_grid(args.grid))
+    kw = _spec_kw(args)
+    name = kw.pop("name", "")
+    rejected = 0
+    for i, cfg in enumerate(configs):
+        try:
+            job = svc.submit(cfg, **kw, name=f"{name}{i}" if name else "")
+        except QueueFull as exc:
+            rejected += 1
+            print(f"rejected #{i}: {exc}", file=sys.stderr)
+            continue
+        _print_submitted(job)
+    print(f"submitted {len(configs) - rejected}/{len(configs)} jobs")
+    return 2 if rejected else 0
+
+
+def cmd_status(svc: JobService, args) -> int:
+    if args.ref:
+        job = svc.find(args.ref)
+        print(json.dumps(job.row(), indent=2))
+        return 0
+    rows = [j.row() for j in svc.jobs.values()]
+    rows.sort(key=lambda r: (_STATE_ORDER.get(r["state"], 99), r["id"]))
+    if args.json:
+        print(json.dumps({"jobs": rows, "metrics": svc.metrics()}, indent=2))
+        return 0
+    if not rows:
+        print("no jobs")
+        return 0
+    cols = ("id", "name", "state", "attempt", "retries", "preempts",
+            "queue_wait_s", "run_s", "submitter")
+    widths = {c: max(len(c), *(len(str(r[c])) for r in rows)) for c in cols}
+    print("  ".join(c.ljust(widths[c]) for c in cols))
+    for r in rows:
+        print("  ".join(str(r[c] if r[c] is not None else "-").ljust(widths[c])
+                        for c in cols))
+    m = svc.metrics()
+    pid = svc.server_pid()
+    print(f"\n{m['done']}/{m['jobs']} done  depth={m['queue_depth']}  "
+          f"p50 wait={m['queue_wait_p50_s']}s  p99={m['queue_wait_p99_s']}s  "
+          f"server={'pid %d' % pid if pid else 'not running'}")
+    return 0
+
+
+def cmd_logs(svc: JobService, args) -> int:
+    job = svc.find(args.ref)
+    jobdir = svc.job_dir(job)
+    name = ("stderr.log" if args.stderr
+            else "events.jsonl" if args.events else "stdout.log")
+    path = jobdir / name
+    if not path.exists():
+        print(f"(no {name} yet for {job.id})", file=sys.stderr)
+        return 1
+    text = path.read_text()
+    if args.tail > 0:
+        text = "\n".join(text.splitlines()[-args.tail:]) + "\n"
+    sys.stdout.write(text)
+    return 0
+
+
+def cmd_cancel(svc: JobService, args) -> int:
+    job = svc.cancel(args.ref)
+    print(f"{job.id}  {job.name}  {job.state}")
+    return 0
+
+
+def cmd_drain(svc: JobService, args) -> int:
+    pid = svc.server_pid()
+    svc.request_drain()
+    if pid:
+        print(f"drain requested (server pid {pid} signalled)")
+    else:
+        print("drain requested (no live server; it will drain on next serve)")
+    return 0
+
+
+def cmd_serve(svc: JobService, args) -> int:
+    try:
+        metrics = svc.serve_forever(drain_when_idle=not args.forever)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(metrics, indent=2))
+    failed = metrics.get("failed", 0)
+    return 3 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Crash-safe simulation job service: durable queue, "
+                    "retry with checkpoint resume, dedup, drain.",
+    )
+    parser.add_argument("--dir", default="service", metavar="DIR",
+                        help="service directory (journal + per-job dirs)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("submit", help="submit one stage config as a job")
+    p.add_argument("config", help="stage JSON file (repro.pipeline.config)")
+    _add_spec_options(p)
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("sweep", help="submit a parameter sweep over a base config")
+    p.add_argument("config", help="base stage JSON file")
+    p.add_argument("--grid", action="append", default=[], metavar="KEY=V1,V2",
+                   help="sweep values (repeatable; cross product)")
+    _add_spec_options(p)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("status", help="job table (or one job as JSON)")
+    p.add_argument("ref", nargs="?", default=None, help="job id prefix or name")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("logs", help="print a job's captured output")
+    p.add_argument("ref", help="job id prefix or name")
+    p.add_argument("--stderr", action="store_true", help="stderr instead of stdout")
+    p.add_argument("--events", action="store_true", help="the JSONL event stream")
+    p.add_argument("--tail", type=int, default=0, metavar="N",
+                   help="only the last N lines")
+    p.set_defaults(fn=cmd_logs)
+
+    p = sub.add_parser("cancel", help="cancel a job (running jobs get SIGTERM)")
+    p.add_argument("ref", help="job id prefix or name")
+    p.set_defaults(fn=cmd_cancel)
+
+    p = sub.add_parser("drain", help="checkpoint-then-stop a running server")
+    p.set_defaults(fn=cmd_drain)
+
+    p = sub.add_parser("serve", help="run the scheduler in the foreground")
+    p.add_argument("--max-concurrent", type=int, default=2, metavar="N")
+    p.add_argument("--core-budget", type=int, default=0, metavar="N",
+                   help="cap total running cores (0 = max-concurrent only)")
+    p.add_argument("--queue-bound", type=int, default=64, metavar="N",
+                   help="admission bound on active jobs")
+    p.add_argument("--forever", action="store_true",
+                   help="keep serving when idle (stop via drain/SIGTERM)")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="deterministic fault plan (default: REPRO_SERVICE_FAULTS)")
+    p.set_defaults(fn=cmd_serve)
+
+    args = parser.parse_args(argv)
+    if args.command == "serve":
+        svc = JobService(
+            args.dir,
+            ServiceConfig(
+                max_concurrent=args.max_concurrent,
+                core_budget=args.core_budget,
+                queue_bound=args.queue_bound,
+            ),
+            faults=args.faults,
+        )
+    else:
+        svc = JobService(args.dir)
+    try:
+        return args.fn(svc, args)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

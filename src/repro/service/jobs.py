@@ -1,0 +1,305 @@
+"""Job model: specs, the job state machine, and typed service errors.
+
+One :class:`Job` is a single supervised execution of a pipeline stage
+(:mod:`repro.pipeline.run_stage`) inside the crash-safe job service.
+Its lifecycle is the §3.4.1 ``stask`` contract grown into a durable
+state machine::
+
+    queued -> admitted -> running -> done
+                  |           |---> failed      (retry budget exhausted)
+                  |           |---> retrying -> queued   (backoff, resume)
+                  |           '---> cancelled
+                  '---------------> cancelled
+
+Every transition is validated by :meth:`Job.apply` — the journal replay
+and the live scheduler go through the same method, so a reconstructed
+service can never hold a state the running one could not have reached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "STATES",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "ServiceError",
+    "QueueFull",
+    "UnknownJob",
+    "InvalidTransition",
+    "JobSpec",
+    "Job",
+]
+
+#: the canonical state set (ISSUE 9 / DESIGN.md job state machine)
+STATES = ("queued", "admitted", "running", "done", "failed", "retrying", "cancelled")
+
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: legal state -> successor states.  ``queued -> done`` is the dedup
+#: cache-hit edge (a resubmitted identical config never runs);
+#: ``running -> queued`` only appears on journal replay of a service
+#: that died with the job in flight (requeue-on-restart).
+TRANSITIONS = {
+    "queued": {"admitted", "cancelled", "done", "failed"},
+    "admitted": {"running", "queued", "cancelled"},
+    "running": {"done", "failed", "retrying", "cancelled", "queued"},
+    "retrying": {"queued", "failed", "cancelled"},
+    "done": set(),
+    "failed": set(),
+    "cancelled": set(),
+}
+
+
+class ServiceError(RuntimeError):
+    """Base class for job-service errors."""
+
+
+class QueueFull(ServiceError):
+    """Typed admission rejection: the submission queue is at its bound.
+
+    Backpressure, not data loss — the submitter sees the rejection
+    synchronously and can retry later; nothing is journaled.
+    """
+
+    def __init__(self, depth: int, bound: int):
+        super().__init__(
+            f"queue bound reached ({depth}/{bound} active jobs); resubmit later"
+        )
+        self.depth = depth
+        self.bound = bound
+
+
+class UnknownJob(ServiceError, LookupError):
+    """No job matches the given id/name reference."""
+
+
+class InvalidTransition(ServiceError):
+    """An event would move a job along an edge the state machine lacks."""
+
+    def __init__(self, job_id: str, state: str, target: str, event: str):
+        super().__init__(
+            f"job {job_id}: illegal transition {state!r} -> {target!r} "
+            f"(event {event!r})"
+        )
+
+
+@dataclass
+class JobSpec:
+    """What to run and under which safety envelope.
+
+    The stage ``config`` payload is stored *inline* (not as a path):
+    the journal record of a submission is self-contained, so a service
+    restarted on a clean process can relaunch every job without any
+    file the crashed service had open.
+    """
+
+    #: the pipeline stage config payload (``repro.pipeline.run_stage``)
+    config: dict = field(default_factory=dict)
+    #: display name; defaults to ``<stage>-<key prefix>``
+    name: str = ""
+    #: fairness bucket: admission round-robins across submitters
+    submitter: str = "local"
+    #: directory stage paths resolve against (None = the private job dir)
+    workdir: str | None = None
+    #: force-solve worker processes inside the job (0 = serial)
+    workers: int = 0
+    #: admission weight against the service core budget
+    cores: int = 1
+    #: per-attempt wall-clock cap in seconds (0 = none)
+    timeout_s: float = 0.0
+    #: kill the attempt when its event stream stalls this long (0 = off)
+    heartbeat_timeout_s: float = 0.0
+    #: failure-driven retries allowed before the job fails for good
+    max_retries: int = 2
+    #: durable checkpoint cadence in steps (0 = no checkpoints)
+    checkpoint_every: int = 1
+    #: participate in dedup/result caching (keyed by the config hash)
+    cache: bool = True
+
+    def key(self) -> str:
+        """Provenance dedup key: the PR 3 sha256 of the stage config.
+
+        Only the physics payload enters the key — operational knobs
+        (workers, timeouts, retry budgets) cannot change the result
+        (bit-identical execution is the repo's core invariant), so two
+        submissions differing only in those dedup together.
+        """
+        from ..diagnose.manifest import config_hash
+
+        return config_hash(self.config)
+
+    def display_name(self) -> str:
+        if self.name:
+            return self.name
+        stage = str(self.config.get("stage", "job"))
+        return f"{stage}-{self.key()[:8]}"
+
+    def to_payload(self) -> dict:
+        """JSON-ready form for the journal's ``submitted`` record."""
+        return {
+            "config": self.config,
+            "name": self.name,
+            "submitter": self.submitter,
+            "workdir": self.workdir,
+            "workers": self.workers,
+            "cores": self.cores,
+            "timeout_s": self.timeout_s,
+            "heartbeat_timeout_s": self.heartbeat_timeout_s,
+            "max_retries": self.max_retries,
+            "checkpoint_every": self.checkpoint_every,
+            "cache": self.cache,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JobSpec":
+        kw = {f: payload[f] for f in cls.__dataclass_fields__ if f in payload}
+        return cls(**kw)
+
+
+def new_job_id(now: float | None = None) -> str:
+    """Time-sortable unique job id (same shape as registry record ids)."""
+    import secrets
+
+    now = time.time() if now is None else now
+    return f"{int(now * 1000):013d}-{secrets.token_hex(3)}"
+
+
+@dataclass
+class Job:
+    """One tracked job: spec + live state + timing/attempt bookkeeping."""
+
+    id: str
+    spec: JobSpec
+    key: str = ""
+    state: str = "queued"
+    #: attempts launched so far (1 after the first ``started``)
+    attempt: int = 0
+    #: failure-driven retries consumed (preemptions are free)
+    retries: int = 0
+    #: preemption round-trips survived (SIGTERM drain / exit 75)
+    preempts: int = 0
+    submitted_t: float = 0.0
+    started_t: float | None = None  # first attempt start
+    finished_t: float | None = None
+    #: wall-clock gate the next launch must wait for (retry backoff)
+    not_before: float = 0.0
+    #: relaunch with ``--resume`` (newest valid checkpoint)
+    resume_next: bool = False
+    result: dict | None = None
+    error: str | None = None
+    #: id of the finished job whose cached result satisfied this one
+    cached_from: str | None = None
+    #: id of the in-flight job this duplicate submission rides on
+    attached_to: str | None = None
+
+    def __post_init__(self):
+        if not self.key:
+            self.key = self.spec.key()
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def active(self) -> bool:
+        return not self.terminal
+
+    @property
+    def name(self) -> str:
+        return self.spec.display_name()
+
+    # ----- the state machine ---------------------------------------------------
+    _EVENT_TARGET = {
+        "admitted": "admitted",
+        "started": "running",
+        "done": "done",
+        "failed": "failed",
+        "retrying": "retrying",
+        "requeued": "queued",
+        "cancelled": "cancelled",
+    }
+
+    def apply(self, event: str, t: float | None = None, **fields) -> None:
+        """Apply one journaled event; raises :class:`InvalidTransition`.
+
+        The same method serves the live scheduler and journal replay —
+        whatever the journal says happened must be a walk of
+        :data:`TRANSITIONS`.
+        """
+        t = time.time() if t is None else float(t)
+        target = self._EVENT_TARGET.get(event)
+        if target is None:
+            raise InvalidTransition(self.id, self.state, "?", event)
+        if target not in TRANSITIONS[self.state]:
+            raise InvalidTransition(self.id, self.state, target, event)
+        if event == "started":
+            self.attempt = int(fields.get("attempt", self.attempt + 1))
+            if self.started_t is None:
+                self.started_t = t
+        elif event == "done":
+            self.result = fields.get("result")
+            self.cached_from = fields.get("cached_from")
+            self.finished_t = t
+        elif event == "failed":
+            self.error = fields.get("error")
+            self.finished_t = t
+        elif event == "retrying":
+            reason = fields.get("reason", "")
+            self.error = fields.get("error")
+            if reason == "preempted":
+                self.preempts += 1
+            else:
+                self.retries = int(fields.get("retries", self.retries + 1))
+            self.not_before = float(fields.get("not_before", t))
+            self.resume_next = bool(fields.get("resume", True))
+        elif event == "requeued":
+            if fields.get("resume"):
+                self.resume_next = True
+            if "not_before" in fields:
+                self.not_before = float(fields["not_before"])
+        elif event == "cancelled":
+            self.error = fields.get("error", self.error)
+            self.finished_t = t
+        self.state = target
+
+    # ----- presentation ---------------------------------------------------------
+    def row(self, now: float | None = None) -> dict:
+        """Flat status row for CLI tables and the journal's stop record."""
+        now = time.time() if now is None else now
+        if not self.submitted_t or (self.started_t is None and self.terminal):
+            waited = 0.0  # never ran (cache hit / cancelled while queued)
+        else:
+            waited = (self.started_t or now) - self.submitted_t
+        ran = None
+        if self.started_t is not None:
+            ran = (self.finished_t or now) - self.started_t
+        return {
+            "id": self.id,
+            "name": self.name,
+            "submitter": self.spec.submitter,
+            "state": self.state,
+            "attempt": self.attempt,
+            "retries": self.retries,
+            "preempts": self.preempts,
+            "queue_wait_s": round(max(waited, 0.0), 3),
+            "run_s": round(ran, 3) if ran is not None else None,
+            "key": self.key[:12],
+            "cached_from": self.cached_from,
+            "attached_to": self.attached_to,
+            "error": self.error,
+        }
+
+
+def deterministic_jitter(job_id: str, attempt: int) -> float:
+    """A stable value in [0, 1) derived from (job, attempt).
+
+    Retry backoff needs jitter so a burst of jobs killed together does
+    not relaunch in lockstep — but the service must stay deterministic
+    under test, so the jitter comes from a hash, not a clock or RNG.
+    """
+    h = hashlib.sha256(f"{job_id}:{attempt}".encode()).digest()
+    return int.from_bytes(h[:4], "big") / 2**32

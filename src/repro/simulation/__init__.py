@@ -1,6 +1,6 @@
 """Cosmological simulation: ICs, symplectic integration, driver."""
 
-from .driver import Simulation, SimulationConfig
+from .driver import Preempted, Simulation, SimulationConfig
 from .ic import ICConfig, gaussian_field, generate_ic
 from .integrator import LeapfrogIntegrator, StepController
 from .lightcone import LightConeRecorder
@@ -11,6 +11,7 @@ __all__ = [
     "LeapfrogIntegrator",
     "LightConeRecorder",
     "ParticleSet",
+    "Preempted",
     "Simulation",
     "SimulationConfig",
     "StepController",

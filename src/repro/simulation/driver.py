@@ -24,6 +24,8 @@ default is a no-op that costs one attribute test per step.
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -38,7 +40,74 @@ from .ic import ICConfig, generate_ic
 from .integrator import LeapfrogIntegrator, StepController
 from .particles import ParticleSet
 
-__all__ = ["SimulationConfig", "Simulation"]
+__all__ = ["SimulationConfig", "Simulation", "Preempted"]
+
+
+class Preempted(RuntimeError):
+    """The run stopped at a step boundary after a preemption signal.
+
+    Raised by :meth:`Simulation.run` once it has honoured the paper's
+    §3.4.1 preemption-notice contract: on SIGTERM/SIGINT the loop
+    finishes the step in flight, writes a final checkpoint (when a
+    checkpoint store is active) and partial ``run_totals``, then raises
+    this.  A subsequent :meth:`Simulation.resume` continues
+    bit-identically, so preemption costs no recomputation.
+    """
+
+    def __init__(self, message: str, checkpoint=None):
+        super().__init__(message)
+        #: path of the final checkpoint written before exiting (or None)
+        self.checkpoint = checkpoint
+
+
+class _SignalGuard:
+    """Convert SIGTERM/SIGINT into a step-boundary stop request.
+
+    Installed only in the main thread (signal handlers cannot be set
+    elsewhere); everywhere else it degrades to an inert flag that never
+    fires.  The previous handlers are restored on :meth:`restore`, and a
+    *second* signal falls through to the previous handler — a stuck
+    checkpoint write can still be interrupted the hard way.
+    """
+
+    SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+    def __init__(self):
+        self.signum: int | None = None
+        self._previous: dict = {}
+
+    def install(self) -> "_SignalGuard":
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        for sig in self.SIGNALS:
+            try:
+                self._previous[sig] = signal.signal(sig, self._handle)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+        return self
+
+    def _handle(self, signum, frame):
+        if self.signum is not None:
+            # second signal: defer to whatever was installed before us
+            prev = self._previous.get(signum)
+            if callable(prev):
+                prev(signum, frame)
+            elif prev == signal.default_int_handler or signum == signal.SIGINT:
+                raise KeyboardInterrupt
+            return
+        self.signum = signum
+
+    @property
+    def signaled(self) -> bool:
+        return self.signum is not None
+
+    def restore(self) -> None:
+        for sig, prev in self._previous.items():
+            try:
+                signal.signal(sig, prev)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        self._previous.clear()
 
 
 @dataclass
@@ -564,6 +633,10 @@ class Simulation:
                 raise fatal
 
         ckpt_sched, ckpt_store = self._make_checkpointer(checkpointer)
+        # §3.4.1 preemption courtesy: SIGTERM/SIGINT stop the loop at the
+        # next step boundary with a final checkpoint instead of dying
+        # mid-kick (main thread only; elsewhere the guard never fires)
+        preempt = _SignalGuard().install()
         steps = 0
         init_wall = 0.0
         init_ipp = 0.0
@@ -648,6 +721,29 @@ class Simulation:
                         "write_s": write_s,
                         "policy": ckpt_sched.describe(),
                     })
+                if preempt.signaled and ps.a < c.a_final * (1 - 1e-12):
+                    final_ckpt = None
+                    if ckpt_store is not None:
+                        final_ckpt = self.save_checkpoint(store=ckpt_store)
+                        emit({
+                            "type": "checkpoint",
+                            "path": str(final_ckpt),
+                            "step": self.steps_completed,
+                            "a": float(ps.a),
+                            "preempt": True,
+                        })
+                    emit({
+                        "type": "preempt",
+                        "signal": int(preempt.signum),
+                        "step": self.steps_completed,
+                        "a": float(ps.a),
+                        "checkpoint": str(final_ckpt) if final_ckpt else None,
+                    })
+                    raise Preempted(
+                        f"preempted by signal {preempt.signum} at step "
+                        f"{self.steps_completed} (a={ps.a:.4f})",
+                        checkpoint=final_ckpt,
+                    )
             new = self.history[first_step:]
             self.run_totals = {
                 "wall_s": time.perf_counter() - t_run0,
@@ -672,6 +768,7 @@ class Simulation:
             new = self.history[first_step:]
             self.run_totals = {
                 "partial": True,
+                "preempted": isinstance(exc, Preempted),
                 "error": f"{type(exc).__name__}: {exc}",
                 "wall_s": time.perf_counter() - t_run0,
                 "steps": steps,
@@ -694,6 +791,7 @@ class Simulation:
                 self._record_observation(obs, prof, tr)
             raise
         finally:
+            preempt.restore()
             if sink is not None:
                 sink.close() if own_sink else sink.flush()
         return ps

@@ -913,3 +913,46 @@ class TestFallbackSurfacing:
         assert "ok+fb" in out
         assert "1 record(s) ran on a fallback backend" in out
         assert "numba not installed" in out
+
+
+# ----- concurrent multi-process appends (ISSUE 9 satellite) ---------------------
+
+
+class TestConcurrentAppends:
+    def test_parallel_writers_never_tear_records(self, tmp_path):
+        """N processes hammering one registry concurrently must leave
+        N x M whole, parseable records — the O_APPEND single-write
+        contract the job-service journal inherits."""
+        import subprocess
+        import sys
+
+        n_procs, n_recs = 6, 40
+        root = tmp_path / "obs"
+        script = (
+            "import sys\n"
+            "from repro.observe import RunRegistry\n"
+            "reg = RunRegistry(sys.argv[1])\n"
+            "w = int(sys.argv[2])\n"
+            "for i in range(int(sys.argv[3])):\n"
+            "    reg.record('stress', {'writer': w, 'i': i,"
+            " 'pad': 'x' * 256}, key=f'k{w}')\n"
+        )
+        procs = [
+            subprocess.Popen([sys.executable, "-c", script, str(root),
+                              str(w), str(n_recs)])
+            for w in range(n_procs)
+        ]
+        assert all(p.wait(timeout=120) == 0 for p in procs)
+
+        reg = RunRegistry(root)
+        # every raw line parses: no torn or interleaved writes at all
+        lines = reg.path.read_text().splitlines()
+        assert len(lines) == n_procs * n_recs
+        parsed = [json.loads(line) for line in lines]
+        assert all(rec["data"]["pad"] == "x" * 256 for rec in parsed)
+        # every (writer, i) pair arrived exactly once
+        seen = {(rec["data"]["writer"], rec["data"]["i"]) for rec in parsed}
+        assert len(seen) == n_procs * n_recs
+        # ids are unique and the query API agrees
+        assert len({rec["id"] for rec in parsed}) == n_procs * n_recs
+        assert len(reg.records(kind="stress")) == n_procs * n_recs

@@ -124,3 +124,40 @@ class TestSTask:
         red = next(t for t in tasks if t.name == "reduce")
         last_map = max(t.end_s for t in tasks if t.name != "reduce")
         assert red.start_s >= last_map
+
+    def test_blocked_by_preempted_dependency_reported(self):
+        """A task whose dependency got preempted is *blocked*, not
+        merely unstarted — the distinction makes dependency deadlocks
+        visible in the run stats and event log."""
+        q = STaskQueue(Allocation(cores=4, walltime_s=30))
+        q.submit(Task(name="long", cores=4, duration_s=100, preempt_notice_s=5))
+        q.submit(Task(name="dep", cores=2, duration_s=5, depends_on=("long",)))
+        stats = q.run()
+        assert stats["preempted"] == 1
+        assert stats["blocked"] == 1
+        assert stats["unstarted"] == 0
+        assert (30.0, "blocked", "dep") in q.events
+
+    def test_blocked_chains_transitively(self):
+        """Blocking propagates: C depends on B depends on preempted A,
+        so both B and C count as blocked."""
+        q = STaskQueue(Allocation(cores=4, walltime_s=20))
+        q.submit(Task(name="a", cores=4, duration_s=100, preempt_notice_s=2))
+        q.submit(Task(name="b", cores=2, duration_s=5, depends_on=("a",)))
+        q.submit(Task(name="c", cores=2, duration_s=5, depends_on=("b",)))
+        stats = q.run()
+        assert stats["blocked"] == 2
+        blocked_names = {n for _, kind, n in q.events if kind == "blocked"}
+        assert blocked_names == {"b", "c"}
+
+    def test_walltime_starvation_still_counts_unstarted(self):
+        """A task whose dependency *completed* but which ran out of
+        walltime stays in unstarted — it is rerunnable as-is."""
+        q = STaskQueue(Allocation(cores=4, walltime_s=12))
+        q.submit(Task(name="a", cores=4, duration_s=10))
+        q.submit(Task(name="late", cores=4, duration_s=10, depends_on=("a",),
+                      preempt_notice_s=5))
+        stats = q.run()
+        assert stats["completed"] == 1
+        assert stats["blocked"] == 0
+        assert stats["unstarted"] == 1

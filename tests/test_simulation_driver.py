@@ -136,3 +136,62 @@ class TestDriver:
         ps_c = sim_c.run()
         d = np.abs((ps_b.pos - ps_c.pos + 0.5) % 1.0 - 0.5)
         assert d.max() < 5e-3
+
+
+class TestPreemption:
+    """§3.4.1: SIGTERM/SIGINT deliver the preemption-notice courtesy —
+    final checkpoint, partial run_totals, bit-identical resume."""
+
+    def _preempt_after(self, sim, n_steps, signum):
+        import os
+        import signal as _signal
+
+        def cb(s, rec):
+            if len(s.history) == n_steps:
+                os.kill(os.getpid(), signum)
+
+        return cb
+
+    def test_sigterm_checkpoints_and_resumes_bit_identical(self, tmp_path):
+        import signal
+
+        from repro.simulation import Preempted
+
+        cfg = short_config(
+            a_final=0.2,
+            checkpoint_dir=str(tmp_path / "ck"),
+            checkpoint_every_steps=1,
+        )
+        # uninterrupted reference
+        ref = Simulation(short_config(a_final=0.2))
+        ps_ref = ref.run()
+
+        sim = Simulation(cfg)
+        with pytest.raises(Preempted) as ei:
+            sim.run(callback=self._preempt_after(sim, 2, signal.SIGTERM))
+        assert sim.steps_completed == 2
+        assert ei.value.checkpoint is not None
+        # partial totals were written before exiting
+        assert sim.run_totals["partial"] is True
+        assert sim.run_totals["preempted"] is True
+        assert sim.run_totals["steps"] == 2
+        # the handler is gone again: default disposition restored
+        assert signal.getsignal(signal.SIGTERM) == signal.SIG_DFL
+
+        resumed = Simulation.resume(ei.value.checkpoint)
+        ps = resumed.run()
+        np.testing.assert_array_equal(ps.pos, ps_ref.pos)
+        np.testing.assert_array_equal(ps.mom, ps_ref.mom)
+        np.testing.assert_array_equal(ps.mass, ps_ref.mass)
+
+    def test_sigint_stops_at_step_boundary_without_store(self):
+        import signal
+
+        from repro.simulation import Preempted
+
+        sim = Simulation(short_config(a_final=0.2))
+        with pytest.raises(Preempted) as ei:
+            sim.run(callback=self._preempt_after(sim, 1, signal.SIGINT))
+        assert ei.value.checkpoint is None  # no store configured
+        assert sim.run_totals["preempted"] is True
+        assert sim.run_totals["steps"] == 1
