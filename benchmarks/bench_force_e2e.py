@@ -1,15 +1,22 @@
-"""End-to-end force benchmark: leaf vs hierarchical traversal (A/B).
+"""End-to-end force benchmark: leaf vs hierarchical vs fmm-hybrid.
 
 Times one full periodic background-subtracted treecode force solve at
-each size for both dual-tree walks — the original per-sink-leaf walk
-(``traversal="leaf"``) and the sink-hierarchical mutual walk with CSR
-interaction lists and segment-reduce evaluation — and writes the
-receipt to ``BENCH_force.json`` next to this file:
+each size for the dual-tree walks — the original per-sink-leaf walk
+(``traversal="leaf"``), the sink-hierarchical mutual walk with CSR
+interaction lists and segment-reduce evaluation, and the fmm-hybrid
+walk (mutual cell-cell accepts into sink-side local expansions, run at
+its production nleaf=8 operating point) — and writes the receipt to
+``BENCH_force.json`` next to this file:
 
 * force wall and its traverse/evaluate split (steady-state: second
   solve, so moment/autotune caches are warm),
-* MAC tests (geometric acceptance evaluations) and interactions per
-  particle for each walk,
+* MAC tests (geometric acceptance evaluations), interactions per
+  particle and the per-family breakdown (cell/pp/ghost/m2l) for each
+  walk,
+* fmm-hybrid promotion gates: >= 3x fewer interactions per particle
+  and (full mode) >= 2x lower force wall than hierarchical on the same
+  numpy backend, probe error inside the errtol budget, and bitwise
+  serial-vs-sharded agreement,
 * a force-error probe against the Ewald direct reference, graded
   against the errtol budget,
 * a ``segment_sum`` micro-receipt (np.add.reduceat vs bincount),
@@ -59,9 +66,9 @@ def _particles(n: int, seed: int = 7):
 
 
 def _solve(traversal: str, pos, mass, backend: str = "numpy",
-           workers: int = 0) -> dict:
+           workers: int = 0, nleaf: int = 16) -> dict:
     cfg = TreecodeConfig(
-        p=4, errtol=ERRTOL, nleaf=16, periodic=True, background=True,
+        p=4, errtol=ERRTOL, nleaf=nleaf, periodic=True, background=True,
         traversal=traversal, want_potential=False,
         backend=backend, workers=workers,
     )
@@ -89,6 +96,10 @@ def _solve(traversal: str, pos, mass, backend: str = "numpy",
         "interactions_per_second": ipp * len(pos) / max(wall, 1e-12),
         "backend": res.stats.get("backend", "numpy"),
         "backend_fallback": res.stats.get("backend_fallback"),
+        # per-family interaction breakdown (cell/pp/ghost/m2l): the
+        # hybrid column's win is the cell family collapsing into m2l
+        "interactions_by_family": res.stats.get("interactions_by_family"),
+        "nleaf": nleaf,
         # in-kernel roofline counters: interactions/s, effective
         # GFLOP/s, m x n tile shape, thread utilization (ISSUE 8)
         "kernel": res.stats.get("kernel"),
@@ -165,18 +176,45 @@ def run() -> dict:
                 workers=workers_mt,
             )
         probe = _probe_error(pos, mass, hier)
+        # fmm-hybrid column at its production configuration (nleaf=8:
+        # smaller leaves push work from the pp floor into m2l pairs);
+        # the A/B against `hier` is honest end-to-end — each mode at
+        # its own best operating point, same backend
+        hybrid = _solve("fmm-hybrid", pos, mass, nleaf=8)
+        hybrid_mt = _solve("fmm-hybrid", pos, mass, nleaf=8,
+                           workers=workers_mt)
+        hybrid_bitident = bool(
+            np.array_equal(hybrid["acc"], hybrid_mt["acc"])
+        )
+        hybrid_probe = _probe_error(pos, mass, hybrid)
         row = {
             "n": n,
             "leaf": {k: v for k, v in leaf.items() if k != "acc"},
             "hierarchical": {k: v for k, v in hier.items() if k != "acc"},
+            "fmm_hybrid": {k: v for k, v in hybrid.items() if k != "acc"},
+            "fmm_hybrid_mt": {
+                k: v for k, v in hybrid_mt.items() if k != "acc"
+            },
             "backends": {
                 name: {k: v for k, v in rec.items() if k != "acc"}
                 for name, rec in backends.items()
             },
             "probe": probe,
+            "hybrid_probe": hybrid_probe,
             "mac_test_ratio": leaf["mac_tests"] / max(hier["mac_tests"], 1),
             "traverse_speedup": leaf["traverse_s"] / max(hier["traverse_s"], 1e-12),
             "force_speedup": leaf["force_wall_s"] / max(hier["force_wall_s"], 1e-12),
+            # the fmm-hybrid promotion gates: interaction-count ratio,
+            # end-to-end wall ratio (same numpy backend), serial-vs-
+            # sharded bitwise reproducibility
+            "hybrid_ipp_ratio": (
+                hier["interactions_per_particle"]
+                / max(hybrid["interactions_per_particle"], 1e-12)
+            ),
+            "hybrid_force_speedup": (
+                hier["force_wall_s"] / max(hybrid["force_wall_s"], 1e-12)
+            ),
+            "hybrid_workers_bitident": 1.0 if hybrid_bitident else 0.0,
         }
         if "compiled_1t" in backends:
             row["backend_speedup_1t"] = (
@@ -197,6 +235,17 @@ def run() -> dict:
             f"ipp {leaf['interactions_per_particle']:.0f} -> "
             f"{hier['interactions_per_particle']:.0f}, probe err/budget "
             f"{probe['err_over_budget']:.3f}"
+        )
+        fam = hybrid["interactions_by_family"]
+        print(
+            f"      fmm-hybrid: ipp "
+            f"{hybrid['interactions_per_particle']:.0f} "
+            f"({row['hybrid_ipp_ratio']:.2f}x fewer), force "
+            f"{hybrid['force_wall_s']:.3f}s "
+            f"({row['hybrid_force_speedup']:.2f}x), err/budget "
+            f"{hybrid_probe['err_over_budget']:.3f}, families "
+            f"cell={fam['cell']} pp={fam['pp']} ghost={fam['ghost']} "
+            f"m2l={fam['m2l']}, workers bit-identical: {hybrid_bitident}"
         )
         if "backend_speedup_1t" in row:
             print(
@@ -221,6 +270,15 @@ def run() -> dict:
         "traverse_speedup": last["traverse_speedup"],
         "force_speedup": last["force_speedup"],
         "probe_err_over_budget": last["probe"]["err_over_budget"],
+        "hybrid_ipp_ratio": last["hybrid_ipp_ratio"],
+        "hybrid_force_speedup": last["hybrid_force_speedup"],
+        "hybrid_err_over_budget": last["hybrid_probe"]["err_over_budget"],
+        "hybrid_workers_bitident": min(
+            r["hybrid_workers_bitident"] for r in sizes
+        ),
+        "hybrid_interactions_per_particle": last["fmm_hybrid"][
+            "interactions_per_particle"
+        ],
         "numba_available": compiled_real,
     }
     # trend-gateable kernel throughput per backend column
@@ -233,9 +291,20 @@ def run() -> dict:
     gates = {
         "mac_test_ratio": {"min": 1.0 if MODE == "smoke" else 3.0},
         "probe_err_over_budget": {"max": 1.0},
+        # fmm-hybrid promotion acceptance: >= 3x fewer interactions per
+        # particle than hierarchical at full size, error still inside
+        # the MAC budget, serial == sharded to the last bit
+        "hybrid_ipp_ratio": {"min": 1.0 if MODE == "smoke" else 3.0},
+        "hybrid_err_over_budget": {"max": 1.0},
+        "hybrid_workers_bitident": {"min": 1.0},
     }
     if MODE == "full":
         gates["traverse_speedup"] = {"min": 1.0}
+        # >= 2x lower end-to-end force wall on the same numpy backend
+        gates["hybrid_force_speedup"] = {"min": 2.0}
+        # absolute interaction-count tripwire: measured ~950/particle at
+        # 32k (4x under hierarchical's ~3800) + regression headroom
+        gates["hybrid_interactions_per_particle"] = {"max": 1300.0}
     if "backend_speedup_1t" in last:
         summary["backend_speedup_1t"] = last["backend_speedup_1t"]
         summary["backend_speedup_mt"] = last["backend_speedup_mt"]
@@ -264,6 +333,9 @@ def test_force_e2e_receipt():
     s = doc["summary"]
     assert s["mac_test_ratio"] >= doc["gates"]["mac_test_ratio"]["min"]
     assert s["probe_err_over_budget"] <= 1.0
+    assert s["hybrid_ipp_ratio"] >= doc["gates"]["hybrid_ipp_ratio"]["min"]
+    assert s["hybrid_err_over_budget"] <= 1.0
+    assert s["hybrid_workers_bitident"] >= 1.0
 
 
 if __name__ == "__main__":

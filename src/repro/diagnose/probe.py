@@ -35,7 +35,32 @@ import numpy as np
 
 from .monitors import HealthContext, HealthEvent, Monitor, classify
 
-__all__ = ["reference_accelerations", "probe_force_error", "ForceErrorProbe"]
+__all__ = [
+    "reference_accelerations",
+    "force_balance",
+    "probe_force_error",
+    "ForceErrorProbe",
+]
+
+
+def force_balance(mass: np.ndarray, acc: np.ndarray) -> float:
+    """Normalized net-force residual ``|sum m_i a_i| / sum m_i |a_i|``.
+
+    An isolated self-gravitating system must have zero total force
+    (Newton's third law), so this ratio sits at the floating-point
+    floor (~1e-15 .. 1e-12) when every interaction is evaluated
+    mutually — the fmm-hybrid traversal's cell-cell accepts are
+    momentum-conserving by construction.  One-sided cell accepts break
+    the pairwise symmetry and push the ratio up to the MAC error level.
+    Periodic runs add non-mutual lattice/prism corrections, so the
+    floor argument only holds for open boundaries without background
+    subtraction.
+    """
+    mass = np.asarray(mass, dtype=np.float64)
+    acc = np.asarray(acc, dtype=np.float64)
+    net = np.linalg.norm((mass[:, None] * acc).sum(axis=0))
+    scale = float((mass * np.linalg.norm(acc, axis=1)).sum())
+    return float(net / max(scale, 1e-300))
 
 
 def _ewald_acc_at(ew, pos, mass, i, block: int = 2048) -> np.ndarray:
@@ -130,6 +155,9 @@ def probe_force_error(
         "max_rel_err": float((err / np.maximum(ref_mag, 1e-300)).max()),
         "mac_budget": budget,
         "periodic": periodic,
+        # whole-field momentum-conservation diagnostic (free: no extra
+        # reference sums) — see :func:`force_balance`
+        "momentum_balance": force_balance(ps.mass, acc),
     }
 
 
@@ -152,6 +180,7 @@ class ForceErrorProbe(Monitor):
         self._ewald = None
         self.last: dict = {}
         self.max_abs_err = 0.0
+        self.max_momentum_balance = 0.0
         self.probes = 0
 
     def _probe(self, ctx: HealthContext) -> list[HealthEvent]:
@@ -170,6 +199,9 @@ class ForceErrorProbe(Monitor):
         self.probes += 1
         self.last = res
         self.max_abs_err = max(self.max_abs_err, res["max_abs_err"])
+        self.max_momentum_balance = max(
+            self.max_momentum_balance, res["momentum_balance"]
+        )
         budget = self.budget if self.budget is not None else res["mac_budget"]
         ratio = res["max_abs_err"] / max(budget, 1e-300)
         sev = classify(ratio, self.warn_factor, self.error_factor)
@@ -177,7 +209,8 @@ class ForceErrorProbe(Monitor):
             ctx, sev,
             f"sampled force error {res['max_abs_err']:.3e} "
             f"({ratio:.2f} x MAC budget {budget:.1e}, "
-            f"{res['n_samples']} samples)",
+            f"{res['n_samples']} samples, "
+            f"momentum balance {res['momentum_balance']:.1e})",
             value=res["max_abs_err"], threshold=budget * self.warn_factor,
         )]
 
@@ -191,4 +224,5 @@ class ForceErrorProbe(Monitor):
 
     def summary(self) -> dict:
         return {"probes": self.probes, "max_abs_err": self.max_abs_err,
+                "max_momentum_balance": self.max_momentum_balance,
                 "last": dict(self.last)}

@@ -13,32 +13,37 @@ O(N) method is questionable ... For this reason, we have focused on
 ... an O(N log N) method."
 
 To make that design decision reproducible rather than folklore, this
-module implements the rejected alternative: a symmetric dual-tree
-traversal producing cell-cell (M2L) interactions accumulated into
-per-cell local expansions, swept down with L2L and evaluated with L2P,
-plus the usual leaf-leaf near field.  The benchmark measures both the
-O(N)-like scaling of the interaction counts *and* the spatially
-correlated error structure the paper describes.
+module implements the rejected alternative: cell-cell (M2L)
+interactions accumulated into per-cell local expansions, swept down
+with L2L and evaluated with L2P, plus the usual leaf-leaf near field.
+The benchmark measures both the O(N)-like scaling of the interaction
+counts *and* the spatially correlated error structure the paper
+describes.
 
-Open (non-periodic) boundaries only — sufficient for the baseline
-comparison; the production path stays cell-body.
+Since the mutual cell-cell machinery was promoted into the production
+path (``TreecodeConfig(traversal="fmm-hybrid")``),
+:class:`FMMGravity` is a thin open-boundary wrapper over that path: a
+huge MAC tolerance collapses ``r_crit`` so the pure geometric Dehnen
+criterion ``bmax_a + bmax_b < theta * dist`` (``cc_xmax = theta``)
+drives the accepts, and the shared M2L/L2L/L2P pipeline — including
+its momentum-conserving mutual emission and compiled kernels — does
+the field evaluation.  The original standalone symmetric dual-tree
+walk, :func:`traverse_cell_cell`, is kept importable (deprecated) for
+the A/B interaction-count benchmark.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..multipoles import multi_index_set
-from ..multipoles.codegen import compiled_dtensor_function
-from ..multipoles.multiindex import n_coeffs
-from ..multipoles.radial import NewtonianKernel
-from ..tree import Tree, TreeMoments, build_tree, compute_moments
+from ..tree import Tree, TreeMoments
 from ..tree.traversal import InteractionLists
 from ..util import expand_ranges
-from .smoothing import make_softening
-from .treeforce import ForceResult, evaluate_forces
+from .solver import TreecodeConfig, TreecodeGravity
+from .treeforce import ForceResult
 
 __all__ = ["FMMConfig", "FMMGravity", "CellCellLists", "traverse_cell_cell"]
 
@@ -64,11 +69,24 @@ def traverse_cell_cell(
 ) -> CellCellLists:
     """Symmetric dual-tree traversal with the classic FMM MAC.
 
+    .. deprecated:: the production walk
+       (:func:`repro.tree.traversal.traverse_hierarchical` with
+       ``m2l=True``) emits the same mutual accepts as a CSR family with
+       periodic-image and shard support; this standalone walk remains
+       only as the reference for the A/B interaction-count benchmark.
+
     A pair (A, B) is *well separated* when
     (bmax_A + bmax_B) < theta * |center_A - center_B|; then B's
     multipole feeds A's local expansion and vice versa.  Otherwise the
     larger cell is split.  Leaf-leaf pairs fall to direct summation.
     """
+    warnings.warn(
+        "traverse_cell_cell is deprecated: use "
+        "TreecodeConfig(traversal='fmm-hybrid') for production cell-cell "
+        "accepts (kept only for the A/B benchmark)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     root = int(np.flatnonzero(tree.cell_level == 0)[0])
     pa = np.array([root], dtype=np.int64)
     pb = np.array([root], dtype=np.int64)
@@ -136,10 +154,16 @@ def traverse_cell_cell(
 
 @dataclass
 class FMMConfig:
-    """Knobs of the rejected O(N) method."""
+    """Knobs of the open-boundary cell-cell solver.
+
+    ``p_local`` is retained for API compatibility but ignored: the
+    shared production pipeline always carries locals at the stored
+    moment order ``p + 2`` (the triangular M2L order that makes the
+    mutual accepts momentum-exact).
+    """
 
     p: int = 4  # source expansion order
-    p_local: int = 4  # local expansion order
+    p_local: int = 4  # ignored (production locals run at order p + 2)
     theta: float = 0.5
     nleaf: int = 16
     softening: str = "plummer"
@@ -148,151 +172,37 @@ class FMMConfig:
 
 
 class FMMGravity:
-    """Open-boundary cell-cell solver (the §2.2.2 baseline)."""
+    """Open-boundary cell-cell solver (the §2.2.2 baseline).
+
+    Delegates to the production ``traversal="fmm-hybrid"`` path with a
+    collapsed MAC radius (``errtol = 1e30`` makes ``r_crit`` vanish) so
+    the pure geometric criterion ``bmax_a + bmax_b < theta * dist``
+    governs the mutual accepts, matching the classic Dehnen-style MAC
+    this baseline has always measured.  Softening, ``ForceResult``
+    stats conventions and backend selection are exactly the production
+    ones.
+    """
 
     def __init__(self, config: FMMConfig | None = None):
         self.config = config or FMMConfig()
-        self.last_lists: CellCellLists | None = None
         self.last_tree: Tree | None = None
+        self.last_interactions: InteractionLists | None = None
 
     def compute(self, pos: np.ndarray, mass: np.ndarray, box: float = 1.0) -> ForceResult:
         cfg = self.config
-        tree = build_tree(pos, mass, box=box, nleaf=cfg.nleaf)
-        moms = compute_moments(tree, p=cfg.p, tol=1e30)  # MAC unused here
-        lists = traverse_cell_cell(tree, moms, theta=cfg.theta)
-        self.last_lists = lists
-        self.last_tree = tree
-
-        p_loc = cfg.p_local
-        mis_loc = multi_index_set(p_loc + 1)
-        nloc = len(mis_loc)
-        local = np.zeros((tree.n_cells, nloc))
-
-        # ----- batched M2L ------------------------------------------------------
-        if lists.n_m2l():
-            _m2l_batch(
-                tree, moms, lists.m2l_sink, lists.m2l_src, cfg.p, p_loc, local
-            )
-
-        # ----- downward L2L ------------------------------------------------------
-        for level in range(1, tree.max_level + 1):
-            cells = tree.cells_at_level(level)
-            cells = cells[tree.cell_parent[cells] >= 0]
-            if len(cells) == 0:
-                continue
-            parents = tree.cell_parent[cells]
-            d = tree.cell_center[cells] - tree.cell_center[parents]
-            local[cells] += _l2l_batch(local[parents], d, p_loc + 1)
-
-        # ----- L2P at leaves -------------------------------------------------------
-        n = tree.n_particles
-        acc = np.zeros((n, 3))
-        pot = np.zeros(n)
-        leaves = tree.leaf_indices
-        counts = tree.cell_count[leaves]
-        pidx = expand_ranges(tree.cell_start[leaves], counts)
-        centers = np.repeat(tree.cell_center[leaves], counts, axis=0)
-        locs = np.repeat(local[leaves], counts, axis=0)
-        s = tree.pos[pidx] - centers
-        mono = mis_loc.powers(s)
-        wf = 1.0 / mis_loc.factorial
-        pot[pidx] += np.einsum("ij,ij->i", mono, locs * wf)
-        for ax in range(3):
-            cols = np.full(nloc, -1, dtype=np.int64)
-            for bi, b in enumerate(mis_loc.alphas):
-                up = (int(b[0]) + (ax == 0), int(b[1]) + (ax == 1), int(b[2]) + (ax == 2))
-                j = mis_loc.index.get(up)
-                if j is not None:
-                    cols[bi] = j
-            valid = cols >= 0
-            acc[pidx, ax] += np.einsum(
-                "ij,ij->i", mono[:, valid] * wf[valid], locs[:, cols[valid]]
-            )
-
-        # ----- near field: reuse the blocked P-P evaluator -----------------------
-        # the frontier already contains each ordered leaf pair exactly once
-        # (self pairs once), which is exactly what the evaluator wants
-        sink, src = lists.leaf_a, lists.leaf_b
-        off = np.zeros(len(sink), dtype=np.int64)
-        pseudo = InteractionLists(
-            sink_leaves=leaves,
-            offsets=np.zeros((1, 3)),
-            cell_sink=np.empty(0, dtype=np.int64),
-            cell_src=np.empty(0, dtype=np.int64),
-            cell_off=np.empty(0, dtype=np.int64),
-            leaf_sink=sink,
-            leaf_src=src,
-            leaf_off=off,
-            ghost_sink=np.empty(0, dtype=np.int64),
-            ghost_src=np.empty(0, dtype=np.int64),
-            ghost_off=np.empty(0, dtype=np.int64),
-        )
-        near = evaluate_forces(
-            tree, moms, pseudo,
-            softening=make_softening(cfg.softening, cfg.eps),
-            G=1.0, want_potential=True,
-        )
-        # near-field comes back in original order; far field is in sorted
-        # order — unsort it to match
-        acc_out = np.empty_like(acc)
-        acc_out[tree.order] = acc
-        pot_out = np.empty_like(pot)
-        pot_out[tree.order] = pot
-        acc_total = (acc_out + near.acc) * cfg.G
-        pot_total = (pot_out + near.pot) * cfg.G
-        stats = {
-            "m2l_pairs": lists.n_m2l(),
-            "pp_interactions": near.stats["pp_interactions"],
-            "n_cells": tree.n_cells,
-        }
-        return ForceResult(acc=acc_total, pot=pot_total, stats=stats)
-
-
-def _m2l_batch(tree, moms, sink, src, p_src, p_loc, local_out):
-    """Accumulate local expansions for many (sink, src) cell pairs."""
-    mis_s = multi_index_set(p_src)
-    mis_l = multi_index_set(p_loc + 1)
-    order_hi = p_src + p_loc + 1
-    mis_hi = multi_index_set(order_hi)
-    ncoef_s = len(mis_s)
-    # column map: cols[beta, alpha] = packed index of alpha+beta
-    cols = np.empty((len(mis_l), ncoef_s), dtype=np.intp)
-    for bi, b in enumerate(mis_l.alphas):
-        for ai, a in enumerate(mis_s.alphas):
-            cols[bi, ai] = mis_hi.index[tuple(int(x) for x in (a + b))]
-    w = ((-1.0) ** mis_s.order) / mis_s.factorial
-    dt_fn = compiled_dtensor_function(order_hi)
-    kernel = NewtonianKernel()
-    chunk = max(1024, int(4e6 / n_coeffs(order_hi)))
-    buf = np.empty((chunk, n_coeffs(order_hi)))
-    for s0 in range(0, len(sink), chunk):
-        s1 = min(s0 + chunk, len(sink))
-        rows = slice(s0, s1)
-        dx = tree.cell_center[sink[rows]] - tree.cell_center[src[rows]]
-        r = np.sqrt(np.einsum("ij,ij->i", dx, dx))
-        g = kernel.radial_derivs(r, order_hi)
-        out = buf[: s1 - s0]
-        dt_fn(dx[:, 0], dx[:, 1], dx[:, 2], g, out)
-        m = moms.moments[src[rows]][:, :ncoef_s] * w
-        contrib = np.empty((s1 - s0, len(mis_l)))
-        for bi in range(len(mis_l)):
-            contrib[:, bi] = np.einsum("ka,ka->k", m, out[:, cols[bi]])
-        np.add.at(local_out, sink[rows], contrib)
-
-
-def _l2l_batch(parent_local: np.ndarray, d: np.ndarray, p: int) -> np.ndarray:
-    """Translate local expansions to children centers (batched).
-
-    L'_gamma = sum_{beta >= gamma} L_beta d^{beta-gamma} / (beta-gamma)!
-    Reuses the M2M translation index table with roles reversed.
-    """
-    mis = multi_index_set(p)
-    tgt, srcb, shift, _binom = mis.translation_table
-    mono = mis.powers(d)
-    out = np.zeros_like(parent_local)
-    # table rows: (alpha=tgt, beta=srcb <= alpha, shift=alpha-beta).
-    # L2L wants: out[beta] += L[alpha] * d^(alpha-beta) / (alpha-beta)!
-    weights = 1.0 / mis.factorial[shift]
-    contrib = parent_local[:, tgt] * mono[:, shift] * weights
-    np.add.at(out.T, srcb, contrib.T)
-    return out
+        solver = TreecodeGravity(TreecodeConfig(
+            p=cfg.p,
+            errtol=1e30,  # collapse r_crit: geometric dual MAC only
+            nleaf=cfg.nleaf,
+            background=False,
+            periodic=False,
+            traversal="fmm-hybrid",
+            cc_xmax=cfg.theta,
+            softening=cfg.softening,
+            eps=cfg.eps,
+            G=cfg.G,
+        ))
+        result = solver.compute(pos, mass, box=box)
+        self.last_tree = solver.last_tree
+        self.last_interactions = solver.last_interactions
+        return result

@@ -71,6 +71,9 @@ __all__ = [
     "active_kernel_threads",
     "kernel_specs",
     "run_csr_kernel",
+    "run_m2l_kernel",
+    "run_l2l_kernel",
+    "run_l2p_kernel",
     "kernel_counters",
     "merge_kernel_counters",
 ]
@@ -215,12 +218,24 @@ def kernel_counters(
             n_pp_mean = float(ct_ent.mean())
     cell_inter = int((cell_per_row * leaf_np).sum())
     pp_inter = int((pp_per_row * leaf_np).sum())
-    total = cell_inter + pp_inter + int(prism_interactions)
+    m2l_pairs = 0
+    l2p_inter = 0
+    if getattr(inter, "m2l_src", None) is not None and len(inter.m2l_src):
+        from ..perfmodel.flops import flops_per_l2p, flops_per_m2l
+
+        m2l_pairs = int(len(inter.m2l_src))
+        l2p_inter = int(leaf_np.sum())
+    total = cell_inter + pp_inter + m2l_pairs + l2p_inter + int(prism_interactions)
     cell_flops = flops_per_cell_interaction(p, want_potential)
     flops = float(
         cell_inter * cell_flops
         + (pp_inter + int(prism_interactions)) * FLOPS_PER_MONOPOLE_PP
     )
+    if m2l_pairs:
+        flops += float(
+            m2l_pairs * flops_per_m2l(p)
+            + l2p_inter * flops_per_l2p(p, want_potential)
+        )
     m_mean = float(leaf_np.mean()) if rows else 0.0
     m_max = int(leaf_np.max()) if rows else 0
     # static-schedule balance over the prange rows: per-row flop weight,
@@ -240,6 +255,8 @@ def kernel_counters(
         "interactions": total,
         "cell_interactions": cell_inter,
         "pp_interactions": pp_inter,
+        "m2l_pairs": m2l_pairs,
+        "l2p_interactions": l2p_inter,
         "prism_interactions": int(prism_interactions),
         "flops": flops,
         "interactions_per_s": total / sec,
@@ -269,7 +286,7 @@ def merge_kernel_counters(parts: list[dict]) -> dict | None:
         return None
     out = {"backend": parts[-1].get("backend", "numpy")}
     for key in ("interactions", "cell_interactions", "pp_interactions",
-                "prism_interactions", "rows"):
+                "m2l_pairs", "l2p_interactions", "prism_interactions", "rows"):
         out[key] = int(sum(k.get(key, 0) for k in parts))
     out["flops"] = float(sum(k.get("flops", 0.0) for k in parts))
     out["seconds"] = float(sum(k.get("seconds", 0.0) for k in parts))
@@ -727,3 +744,276 @@ def run_csr_kernel(
         want_potential, s0,
         acc, pot_arr,
     )
+
+
+# ---------------------------------------------------------------------------
+# fmm-hybrid far field: M2L / L2L / L2P kernel bodies
+# ---------------------------------------------------------------------------
+
+
+def _m2l_kernel(
+    cell_center, offsets,
+    m2l_cells, m2l_indptr, m2l_src, m2l_off,
+    # premultiplied source moments and the triangular gather tables
+    wm, acol, ccol, biptr,
+    plan_tgt, plan_axis, plan_idx1, plan_idx2, plan_fac, orders,
+    pmax, nhi, nloc,
+    # radial kernel spec (same chain as the force kernel)
+    kern_kind, kern_eps, kern_alpha, kern_use_erf,
+    ke_pow, ke_coef, ke_ptr, kg_pow, kg_coef, kg_ptr,
+    locs,
+):  # pragma: no cover - covered via run_m2l_kernel in the hybrid tests
+    nrows = len(m2l_cells)
+    for row in prange(nrows):
+        c = m2l_cells[row]
+        cx0 = cell_center[c, 0]
+        cy0 = cell_center[c, 1]
+        cz0 = cell_center[c, 2]
+        gch = np.empty(pmax + 1, dtype=np.float64)
+        rm = np.empty((pmax + 1, nhi), dtype=np.float64)
+        for e in range(m2l_indptr[row], m2l_indptr[row + 1]):
+            src = m2l_src[e]
+            off = m2l_off[e]
+            dx = cx0 - (cell_center[src, 0] + offsets[off, 0])
+            dy = cy0 - (cell_center[src, 1] + offsets[off, 1])
+            dz = cz0 - (cell_center[src, 2] + offsets[off, 2])
+            r2 = dx * dx + dy * dy + dz * dz
+            r = math.sqrt(r2)
+            if kern_kind == 0:  # Newtonian 1/r
+                inv_r2 = 1.0 / r2
+                g = 1.0 / r
+                gch[0] = g
+                for mm in range(1, pmax + 1):
+                    g = g * (-(2.0 * mm - 1.0)) * inv_r2
+                    gch[mm] = g
+            elif kern_kind == 1:  # Plummer-smoothed
+                s2 = r2 + kern_eps * kern_eps
+                inv_s2 = 1.0 / s2
+                g = math.sqrt(inv_s2)
+                gch[0] = g
+                for mm in range(1, pmax + 1):
+                    g = g * (-(2.0 * mm - 1.0)) * inv_s2
+                    gch[mm] = g
+            else:  # erfc/erf over r (Ewald / TreePM split)
+                if kern_use_erf:
+                    fval = math.erf(kern_alpha * r)
+                else:
+                    fval = math.erfc(kern_alpha * r)
+                gauss = math.exp(-(kern_alpha * kern_alpha) * r2)
+                for mm in range(pmax + 1):
+                    s = 0.0
+                    for t in range(ke_ptr[mm], ke_ptr[mm + 1]):
+                        s += ke_coef[t] * r ** ke_pow[t] * fval
+                    for t in range(kg_ptr[mm], kg_ptr[mm + 1]):
+                        s += kg_coef[t] * r ** kg_pow[t] * gauss
+                    gch[mm] = s
+            for mm in range(pmax + 1):
+                rm[mm, 0] = gch[mm]
+            for t in range(len(plan_tgt)):
+                tgt = plan_tgt[t]
+                o = orders[tgt]
+                i1 = plan_idx1[t]
+                i2 = plan_idx2[t]
+                fac = plan_fac[t]
+                axn = plan_axis[t]
+                if axn == 0:
+                    xv = dx
+                elif axn == 1:
+                    xv = dy
+                else:
+                    xv = dz
+                for mm in range(pmax - o, -1, -1):
+                    v = xv * rm[mm + 1, i1]
+                    if i2 >= 0 and fac != 0.0:
+                        v = v + fac * rm[mm + 1, i2]
+                    rm[mm, tgt] = v
+            # triangular contraction: local beta sums sources with
+            # |alpha| + |beta| <= pmax
+            for bi in range(nloc):
+                sacc = 0.0
+                for t in range(biptr[bi], biptr[bi + 1]):
+                    sacc += wm[src, acol[t]] * rm[0, ccol[t]]
+                locs[row, bi] += sacc
+
+
+def _l2l_kernel(
+    parent_local, d,
+    tt_tgt, tt_src, tt_shift, tt_w, alphas,
+    pmax, nloc,
+    out,
+):  # pragma: no cover - covered via run_l2l_kernel in the hybrid tests
+    n = len(d)
+    for k in prange(n):
+        px = np.empty(pmax + 1, dtype=np.float64)
+        py = np.empty(pmax + 1, dtype=np.float64)
+        pz = np.empty(pmax + 1, dtype=np.float64)
+        px[0] = 1.0
+        py[0] = 1.0
+        pz[0] = 1.0
+        for q in range(1, pmax + 1):
+            px[q] = px[q - 1] * d[k, 0]
+            py[q] = py[q - 1] * d[k, 1]
+            pz[q] = pz[q - 1] * d[k, 2]
+        mono = np.empty(nloc, dtype=np.float64)
+        for j in range(nloc):
+            mono[j] = px[alphas[j, 0]] * py[alphas[j, 1]] * pz[alphas[j, 2]]
+        # same table order and association as the numpy np.add.at path,
+        # so the compiled sweep is bit-identical to the reference
+        for t in range(len(tt_tgt)):
+            out[k, tt_src[t]] += (
+                parent_local[k, tt_tgt[t]] * mono[tt_shift[t]] * tt_w[t]
+            )
+
+
+def _l2p_kernel(
+    pos, cell_start, cell_count, cell_center,
+    sink_leaves, row_local,
+    alphas, wf, grad_cols,
+    pmax, ncoef, nloc,
+    want_potential, s0,
+    acc, pot,
+):  # pragma: no cover - covered via run_l2p_kernel in the hybrid tests
+    nrows = len(sink_leaves)
+    for row in prange(nrows):
+        leaf = sink_leaves[row]
+        a0 = cell_start[leaf]
+        m = cell_count[leaf]
+        cx = cell_center[leaf, 0]
+        cy = cell_center[leaf, 1]
+        cz = cell_center[leaf, 2]
+        px = np.empty(pmax + 1, dtype=np.float64)
+        py = np.empty(pmax + 1, dtype=np.float64)
+        pz = np.empty(pmax + 1, dtype=np.float64)
+        mono = np.empty(nloc, dtype=np.float64)
+        for i in range(m):
+            sx = pos[a0 + i, 0] - cx
+            sy = pos[a0 + i, 1] - cy
+            sz = pos[a0 + i, 2] - cz
+            px[0] = 1.0
+            py[0] = 1.0
+            pz[0] = 1.0
+            for q in range(1, pmax + 1):
+                px[q] = px[q - 1] * sx
+                py[q] = py[q - 1] * sy
+                pz[q] = pz[q - 1] * sz
+            for j in range(nloc):
+                mono[j] = px[alphas[j, 0]] * py[alphas[j, 1]] * pz[alphas[j, 2]]
+            ax = 0.0
+            ay = 0.0
+            az = 0.0
+            ph = 0.0
+            for j in range(ncoef):
+                b = mono[j] * wf[j]
+                ax += b * row_local[row, grad_cols[0, j]]
+                ay += b * row_local[row, grad_cols[1, j]]
+                az += b * row_local[row, grad_cols[2, j]]
+            if want_potential:
+                for j in range(nloc):
+                    ph += mono[j] * wf[j] * row_local[row, j]
+            out = a0 + i - s0
+            acc[out, 0] += ax
+            acc[out, 1] += ay
+            acc[out, 2] += az
+            if want_potential:
+                pot[out] += ph
+
+
+_JITTED_AUX: dict[str, object] = {}
+_AUX_BODIES = {"m2l": _m2l_kernel, "l2l": _l2l_kernel, "l2p": _l2p_kernel}
+
+
+def _get_aux_kernel(name: str):
+    """Jitted (or interpreted, under REPRO_FORCE_PYKERNEL) aux kernel."""
+    if NUMBA_AVAILABLE:
+        fn = _JITTED_AUX.get(name)
+        if fn is None:
+            fn = numba.njit(parallel=True, fastmath=False, cache=True)(
+                _AUX_BODIES[name]
+            )
+            _JITTED_AUX[name] = fn
+        return fn
+    if _py_kernel_forced():
+        return _AUX_BODIES[name]
+    return None
+
+
+def run_m2l_kernel(tree, moms, inter, kernel, tables, locs) -> bool:
+    """Accumulate per-sink-cell locals through the compiled M2L kernel.
+
+    Builds its own radial spec at the M2L order ``tables.P`` (two above
+    the force kernel's chain, so it cannot share treeforce's spec).
+    Returns False (leaving ``locs`` untouched) when no kernel is
+    available so the caller can fall back to the numpy path.
+    """
+    fn = _get_aux_kernel("m2l")
+    if fn is None:
+        return False
+    radial_spec = _radial_spec(kernel, tables.P)
+    if radial_spec is None:
+        return False
+    (kern_kind, kern_eps, kern_alpha, kern_use_erf,
+     ke_pow, ke_coef, ke_ptr, kg_pow, kg_coef, kg_ptr) = radial_spec
+    pmax = tables.P
+    nhi = n_coeffs(pmax)
+    plan_tgt, plan_axis, plan_idx1, plan_idx2, plan_fac, orders = _plan_arrays(
+        pmax
+    )
+    wm = np.ascontiguousarray(moms.moments[:, :nhi]) * tables.wsrc
+    fn(
+        _f8(tree.cell_center), _f8(inter.offsets),
+        _i8(inter.m2l_cells), _i8(inter.m2l_indptr),
+        _i8(inter.m2l_src), _i8(inter.m2l_off),
+        wm, _i8(tables.acol), _i8(tables.ccol), _i8(tables.biptr),
+        plan_tgt, plan_axis, plan_idx1, plan_idx2, plan_fac, orders,
+        pmax, nhi, tables.nloc,
+        kern_kind, kern_eps, kern_alpha, kern_use_erf,
+        ke_pow, ke_coef, ke_ptr, kg_pow, kg_coef, kg_ptr,
+        locs,
+    )
+    return True
+
+
+@functools.lru_cache(maxsize=8)
+def _l2l_table_arrays(p_loc: int):
+    mis = multi_index_set(p_loc)
+    tgt, srcb, shift, _binom = mis.translation_table
+    return (
+        _i8(tgt), _i8(srcb), _i8(shift),
+        _f8(1.0 / mis.factorial[shift]),
+        _i8(mis.alphas),
+        len(mis),
+    )
+
+
+def run_l2l_kernel(parent_local, d, p_loc: int) -> np.ndarray | None:
+    """One level of L2L translations; None when no kernel is available."""
+    fn = _get_aux_kernel("l2l")
+    if fn is None:
+        return None
+    tgt, srcb, shift, w, alphas, nloc = _l2l_table_arrays(p_loc)
+    out = np.zeros_like(parent_local)
+    fn(_f8(parent_local), _f8(d), tgt, srcb, shift, w, alphas, p_loc, nloc, out)
+    return out
+
+
+def run_l2p_kernel(
+    tree, inter, row_local, p: int, want_potential: bool, s0: int, acc, pot
+) -> bool:
+    """Evaluate leaf locals at the sink particles through the kernel."""
+    fn = _get_aux_kernel("l2p")
+    if fn is None:
+        return False
+    from .localexp import l2p_gradient_columns
+
+    mis_hi = multi_index_set(p + 2)
+    fn(
+        _f8(tree.pos),
+        _i8(tree.cell_start), _i8(tree.cell_count), _f8(tree.cell_center),
+        _i8(inter.sink_leaves), _f8(row_local),
+        _i8(mis_hi.alphas), _f8(1.0 / mis_hi.factorial),
+        _i8(l2p_gradient_columns(p)),
+        p + 2, n_coeffs(p + 1), len(mis_hi),
+        want_potential, s0,
+        acc, pot if pot is not None else _EMPTY_F8,
+    )
+    return True

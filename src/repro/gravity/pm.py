@@ -336,6 +336,12 @@ def _prune_far(tree, moms, inter, rcut):
     if inter.cell_indptr is not None:
         csr["cell_indptr"] = filter_csr_indptr(inter.cell_indptr, kc)
         csr["leaf_indptr"] = filter_csr_indptr(inter.leaf_indptr, kl)
+    if inter.m2l_cells is not None and inter.m2l_src is not None:
+        m2l_sink = np.repeat(inter.m2l_cells, np.diff(inter.m2l_indptr))
+        km = keep(m2l_sink, inter.m2l_src, inter.m2l_off)
+        csr["m2l_src"] = inter.m2l_src[km]
+        csr["m2l_off"] = inter.m2l_off[km]
+        csr["m2l_indptr"] = filter_csr_indptr(inter.m2l_indptr, km)
     return dataclasses.replace(
         inter,
         cell_sink=inter.cell_sink[kc],

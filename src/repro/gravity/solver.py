@@ -72,9 +72,18 @@ class TreecodeConfig:
     #: background-subtraction cancellation) or "absolute" (rigorous bound)
     mac: str = "moment"
     #: dual-tree walk flavour: "hierarchical" (sink-cell frontier with
-    #: inherited accepts and CSR segment-reduce evaluation) or "leaf"
-    #: (the original per-sink-leaf walk, kept for A/B receipts)
+    #: inherited accepts and CSR segment-reduce evaluation),
+    #: "fmm-hybrid" (the same walk with mutual cell-cell accepts into
+    #: sink-side local expansions — Dehnen-style O(N) far field with
+    #: exact momentum conservation) or "leaf" (the original
+    #: per-sink-leaf walk, kept for A/B receipts)
     traversal: str = "hierarchical"
+    #: fmm-hybrid dual-MAC knob: a cell pair is mutually accepted when
+    #: b_max(a) + b_max(b) < cc_xmax * dist AND both sides pass the
+    #: one-sided MAC.  Separate from ``xmax`` so the §2.2.2
+    #: error-correlation tradeoff is measurable: smaller = tighter
+    #: local expansions (less correlated error, more pp work)
+    cc_xmax: float = 0.5
     #: force-evaluation backend: "numpy" (vectorized reference),
     #: "compiled" (numba m x n-blocked CSR kernel) or "auto"
     #: (``REPRO_FORCE_BACKEND`` env, else compiled-when-available)
@@ -194,6 +203,7 @@ class TreecodeGravity:
                         want_potential=cfg.want_potential,
                         check_finite=cfg.check_finite,
                         traversal=cfg.traversal,
+                        cc_xmax=cfg.cc_xmax,
                         backend=cfg.backend,
                         tracer=tr,
                     )
@@ -205,6 +215,7 @@ class TreecodeGravity:
                         traversal=cfg.traversal,
                         periodic=cfg.periodic,
                         ws=cfg.ws,
+                        cc_xmax=cfg.cc_xmax,
                     )
                 with tr.span("evaluate") as sp_evaluate:
                     result = evaluate_forces(
@@ -234,6 +245,12 @@ class TreecodeGravity:
             result.stats["traversal_rounds"] = inter.rounds
             result.stats["mac_tests"] = inter.mac_tests
             result.stats["frontier_peak"] = inter.frontier_peak
+            result.stats["interactions_by_family"] = {
+                "cell": inter.n_cell_interactions(tree),
+                "pp": inter.n_pp_interactions(tree),
+                "ghost": inter.n_prism_interactions(tree),
+                "m2l": inter.n_m2l_interactions(tree),
+            }
             if tr.enabled:
                 tr.count("traverse.mac_tests", inter.mac_tests)
                 tr.count("traverse.accepts_inherited", inter.inherited_accepts)

@@ -517,6 +517,8 @@ def _evaluate_forces_csr(
         "cell_interactions": 0,
         "pp_interactions": 0,
         "prism_interactions": 0,
+        "m2l_pairs": 0,
+        "m2l_interactions": 0,
         "order": p,
         "evaluator": "csr",
         "backend": resolved,
@@ -648,6 +650,28 @@ def _evaluate_forces_csr(
             )
         t_kernel += time.perf_counter() - _tk0
 
+    # ----- m2l local expansions + L2P (fmm-hybrid far field) -------------------
+    if inter.m2l_cells is not None and inter.m2l_src is not None and len(
+        inter.m2l_src
+    ):
+        from . import localexp
+
+        _tk0 = time.perf_counter()
+        stats["m2l_pairs"] = int(len(inter.m2l_src))
+        stats["m2l_interactions"] = stats["m2l_pairs"] + int(leaf_np.sum())
+        with tr.span("m2l"):
+            loc_all = localexp.local_expansions(
+                tree, moms, inter, kernel, backend=resolved
+            )
+            localexp.l2p_accumulate(
+                tree, inter, loc_all, p,
+                want_potential=want_potential,
+                pid=pid, row_of_p=row_of_p, s0=s0,
+                acc=acc, pot=pot,
+                backend=resolved,
+            )
+        t_kernel += time.perf_counter() - _tk0
+
     # ----- analytic background cubes -------------------------------------------
     if moms.background:
         rho = -moms.mean_density  # subtract the background
@@ -684,7 +708,11 @@ def _evaluate_forces_csr(
         if want_potential:
             pot *= G
 
-    if stats["cell_interactions"] or stats["pp_interactions"]:
+    if (
+        stats["cell_interactions"]
+        or stats["pp_interactions"]
+        or stats["m2l_pairs"]
+    ):
         stats["kernel"] = kernels.kernel_counters(
             tree,
             inter,

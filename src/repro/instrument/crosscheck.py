@@ -24,18 +24,31 @@ def flops_from_stats(stats: dict, want_potential: bool = True) -> float:
     recorded expansion order, pp interactions at the paper's 28-flop
     monopole rate, prism (background cube) interactions approximated at
     the monopole rate — the analytic cube force is a comparable-length
-    arithmetic chain.
+    arithmetic chain — and, in fmm-hybrid mode, M2L translations and
+    L2P evaluations at their table-measured rates.
     """
-    from ..perfmodel.flops import FLOPS_PER_MONOPOLE_PP, flops_per_cell_interaction
+    from ..perfmodel.flops import (
+        FLOPS_PER_MONOPOLE_PP,
+        flops_per_cell_interaction,
+        flops_per_l2p,
+        flops_per_m2l,
+    )
 
     p = int(stats.get("order", 4))
     cell = float(stats.get("cell_interactions", 0))
     pp = float(stats.get("pp_interactions", 0))
     prism = float(stats.get("prism_interactions", 0))
-    return (
+    total = (
         cell * flops_per_cell_interaction(p, want_potential)
         + (pp + prism) * FLOPS_PER_MONOPOLE_PP
     )
+    m2l_pairs = float(stats.get("m2l_pairs", 0))
+    if m2l_pairs:
+        l2p = float(stats.get("m2l_interactions", 0)) - m2l_pairs
+        total += m2l_pairs * flops_per_m2l(p) + l2p * flops_per_l2p(
+            p, want_potential
+        )
+    return total
 
 
 @dataclass

@@ -207,6 +207,7 @@ def _run_shard(state: _WorkerState, sinks, s0: int, s1: int):
         ws=task["ws"],
         sink_leaves=sinks,
         xmax=task["xmax"],
+        cc_xmax=task.get("cc_xmax", 0.5),
     )
     if task["rcut"] is not None:
         from ..gravity.pm import _prune_far
@@ -251,7 +252,14 @@ def _run_shard(state: _WorkerState, sinks, s0: int, s1: int):
         inter.n_cell_interactions(state.tree)
         + inter.n_pp_interactions(state.tree)
         + inter.n_prism_interactions(state.tree)
+        + inter.n_m2l_interactions(state.tree)
     )
+    stats["interactions_by_family"] = {
+        "cell": inter.n_cell_interactions(state.tree),
+        "pp": inter.n_pp_interactions(state.tree),
+        "ghost": inter.n_prism_interactions(state.tree),
+        "m2l": inter.n_m2l_interactions(state.tree),
+    }
     n_inter = (
         stats.get("cell_interactions", 0)
         + stats.get("pp_interactions", 0)
@@ -442,6 +450,7 @@ class ForceExecutor:
         want_potential: bool = True,
         rcut: float | None = None,
         xmax: float = 0.6,
+        cc_xmax: float = 0.5,
         check_finite: bool = False,
         traversal: str = "leaf",
         backend: str | None = None,
@@ -492,6 +501,7 @@ class ForceExecutor:
                 "periodic": periodic,
                 "ws": ws,
                 "xmax": xmax,
+                "cc_xmax": cc_xmax,
                 "softening": softening,
                 "kernel": kernel,
                 "G": G,
@@ -730,7 +740,10 @@ class ForceExecutor:
             "cell_interactions": 0,
             "pp_interactions": 0,
             "prism_interactions": 0,
+            "m2l_pairs": 0,
+            "m2l_interactions": 0,
             "traversal_interactions": 0,
+            "interactions_by_family": {},
             "order": 0,
             "traversal_rounds": 0,
             "mac_tests": 0,
@@ -742,7 +755,13 @@ class ForceExecutor:
             stats["cell_interactions"] += s.get("cell_interactions", 0)
             stats["pp_interactions"] += s.get("pp_interactions", 0)
             stats["prism_interactions"] += s.get("prism_interactions", 0)
+            stats["m2l_pairs"] += s.get("m2l_pairs", 0)
+            stats["m2l_interactions"] += s.get("m2l_interactions", 0)
             stats["traversal_interactions"] += s.get("traversal_interactions", 0)
+            for fam, count in s.get("interactions_by_family", {}).items():
+                stats["interactions_by_family"][fam] = (
+                    stats["interactions_by_family"].get(fam, 0) + count
+                )
             stats["order"] = s.get("order", stats["order"])
             stats["traversal_rounds"] = max(
                 stats["traversal_rounds"], s.get("traversal_rounds", 0)

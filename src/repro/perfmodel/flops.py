@@ -21,6 +21,8 @@ from ..multipoles.multiindex import n_coeffs
 __all__ = [
     "FLOPS_PER_MONOPOLE_PP",
     "flops_per_cell_interaction",
+    "flops_per_m2l",
+    "flops_per_l2p",
     "flops_per_particle",
 ]
 
@@ -51,6 +53,42 @@ def flops_per_cell_interaction(p: int, want_potential: bool = True) -> int:
     # applying the (-1)^n/n! weights is folded into the moments once per
     # cell, not per interaction — excluded
     return dtensor_ops + radial_ops + contraction
+
+
+@functools.lru_cache(maxsize=16)
+def flops_per_m2l(p: int) -> int:
+    """Arithmetic operations of one cell-to-local (M2L) translation.
+
+    Counts the plan-driven derivative-tensor recurrence at the M2L
+    order p+2 (each step fills pmax - |target| + 1 levels with a
+    multiply and a fused multiply-add), the radial chain, and the
+    triangular moment-gather contraction (a multiply-add per flat table
+    entry) — all measured from the same tables the kernels consume.
+    """
+    from ..gravity.localexp import m2l_tables
+    from ..multipoles.dtensors import recurrence_plan
+
+    pmax = p + 2
+    mis_hi, plan = recurrence_plan(pmax)
+    rec_ops = sum(3 * (pmax - int(mis_hi.order[s[0]]) + 1) for s in plan)
+    radial_ops = 4 * (pmax + 1) + 8
+    return rec_ops + radial_ops + 2 * len(m2l_tables(p).acol)
+
+
+@functools.lru_cache(maxsize=16)
+def flops_per_l2p(p: int, want_potential: bool = True) -> int:
+    """Arithmetic operations of one local-to-particle evaluation.
+
+    Monomial build at the local order p+2 plus the three gradient
+    contractions over the order-p+1 coefficients (and the potential
+    contraction when requested).
+    """
+    nloc = n_coeffs(p + 2)
+    ncoef = n_coeffs(p + 1)
+    ops = 3 * (p + 2) + 2 * nloc + 6 * ncoef
+    if want_potential:
+        ops += 2 * nloc
+    return ops
 
 
 def flops_per_particle(

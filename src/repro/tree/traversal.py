@@ -35,7 +35,12 @@ Outputs are :class:`InteractionLists` consumed by
 * ``cell_pairs``   — (sink leaf, source cell, offset) multipole interactions,
 * ``leaf_pairs``   — (sink leaf, source leaf, offset) particle-particle blocks,
 * ``ghost_pairs``  — (sink leaf, ghost cell, offset) near-field analytic
-  background cubes (only in background-subtraction mode).
+  background cubes (only in background-subtraction mode),
+* ``m2l_pairs``    — (sink *cell*, source cell, offset) mutual cell–cell
+  accepts feeding sink-side Taylor local expansions (``m2l=True``, the
+  ``traversal="fmm-hybrid"`` mode; Dehnen astro-ph/0202512).  Keyed by
+  sink cell — interior or leaf — and translated down to particles by
+  the L2L/L2P machinery in :mod:`repro.gravity.localexp`.
 
 The hierarchical walk additionally emits the lists in **CSR form**:
 each family is sorted by sink leaf (rows follow ``sink_leaves``, which
@@ -99,11 +104,20 @@ class InteractionLists:
     cell_indptr: np.ndarray | None = None
     leaf_indptr: np.ndarray | None = None
     ghost_indptr: np.ndarray | None = None
+    # mutual cell-cell accepts (fmm-hybrid walk only): CSR keyed by sink
+    # *cell* (interior or leaf), rows follow m2l_cells in ascending cell
+    # index; each row's segment lists (source cell, image offset) pairs
+    # absorbed into that sink cell's local expansion
+    m2l_cells: np.ndarray | None = None
+    m2l_src: np.ndarray | None = None
+    m2l_off: np.ndarray | None = None
+    m2l_indptr: np.ndarray | None = None
     # traversal-cost counters
     mac_tests: int = 0
     frontier_peak: int = 0
     inherited_accepts: int = 0  # accepts recorded at interior sink cells
     leaf_accepts: int = 0  # accepts recorded at sink leaves
+    m2l_accepts: int = 0  # mutual cell-cell accepts (per direction)
 
     def n_cell_interactions(self, tree: Tree) -> int:
         """Total (particle, cell-multipole) interaction count."""
@@ -119,12 +133,27 @@ class InteractionLists:
         """Total (particle, analytic background cube) interaction count."""
         return int(tree.cell_count[self.ghost_sink].sum())
 
+    def n_m2l_interactions(self, tree: Tree) -> int:
+        """M2L pair translations plus one L2P per sink particle.
+
+        Counts each cell-to-local translation once and adds one
+        local-to-particle evaluation per particle under a sink leaf —
+        the actual work units of the far-field path, comparable to the
+        per-particle counts of the other families.
+        """
+        if self.m2l_src is None or len(self.m2l_src) == 0:
+            return 0
+        return int(len(self.m2l_src)) + int(
+            tree.cell_count[self.sink_leaves].sum()
+        )
+
     def interactions_per_particle(self, tree: Tree) -> float:
         n = max(tree.n_particles, 1)
         return (
             self.n_cell_interactions(tree)
             + self.n_pp_interactions(tree)
             + self.n_prism_interactions(tree)
+            + self.n_m2l_interactions(tree)
         ) / n
 
 
@@ -296,6 +325,8 @@ def traverse_hierarchical(
     ws: int = 1,
     sink_leaves: np.ndarray | None = None,
     xmax: float = 0.6,
+    m2l: bool = False,
+    cc_xmax: float = 0.5,
 ) -> InteractionLists:
     """Sink-hierarchical mutual dual traversal emitting CSR lists.
 
@@ -310,9 +341,28 @@ def traverse_hierarchical(
     the sink-particle-to-source distance: ``dist - b_max(sink)`` (the
     leaf walk's bound) and the per-axis gap to the sink cell's cube.
 
+    With ``m2l=True`` (the ``traversal="fmm-hybrid"`` mode) one-sided
+    cell accepts are replaced by *mutual* cell-cell accepts: a pair is
+    absorbed — both directions at once — into sink-side local
+    expansions when it passes the dual MAC, the combined-size
+    separation criterion ``b_max(a) + b_max(b) < cc_xmax * dist``
+    (Dehnen astro-ph/0202512, which bounds the error-correlation the
+    paper worries about in §2.2.2 via a knob separate from ``xmax``)
+    AND each non-ghost side's one-sided MAC against the other as
+    source.  Accepted pairs land in the ``m2l_*`` family; everything
+    the mutual accept does not retire refines exactly as before and
+    ends in the pp family, so the cell family stays empty and every
+    far-field pair is applied symmetrically (exact momentum
+    conservation, astro-ph/0003209).  The decision remains a pure
+    function of (a, b, offset), never of which directions are live, so
+    restricted shard walks replay identical accepts.
+
     The returned lists are sorted by sink leaf (``sink_leaves`` comes
     back in SFC/particle order) with ``cell_indptr`` / ``leaf_indptr``
-    / ``ghost_indptr`` delimiting each leaf's segment.
+    / ``ghost_indptr`` delimiting each leaf's segment; the m2l family
+    is keyed by sink *cell* (``m2l_cells`` ascending, ``m2l_indptr``
+    delimiting each cell's (source, offset) segment in a
+    shard-independent order).
     """
     restricted = sink_leaves is not None
     if restricted:
@@ -353,11 +403,13 @@ def traverse_hierarchical(
     acc_sink, acc_src, acc_off = [], [], []
     lacc_sink, lacc_src, lacc_off = [], [], []
     dir_sink, dir_src, dir_off = [], [], []
+    m2l_sink_p, m2l_src_p, m2l_off_p = [], [], []
 
     cell_center = tree.cell_center
     bmax = moms.bmax
     r_crit = moms.r_crit
     is_leaf = tree.is_leaf
+    is_ghost = tree.cell_is_ghost
     first_child = tree.cell_first_child
     nchildren = tree.cell_nchildren
     half = tree.box / np.exp2(tree.cell_level + 1)  # cell half-side
@@ -366,6 +418,7 @@ def traverse_hierarchical(
     frontier_peak = 0
     inherited = 0
     leaf_accepts = 0
+    m2l_accepts = 0
 
     def cube_gap(absd, cells):
         g = np.maximum(absd - half[cells][:, None], 0.0)
@@ -385,15 +438,45 @@ def traverse_hierarchical(
         # direction a<-b: d_eff lower-bounds the distance from any
         # particle under sink a to source b's expansion center
         d_eff1 = np.maximum(dist - bmax_a, cube_gap(absd, f_a))
-        acc1 = bit1 & (d_eff1 > r_crit[f_b]) & (bmax_b < xmax * d_eff1)
         # direction b<-a: same separation, mirrored image offset
         d_eff2 = np.maximum(dist - bmax_b, cube_gap(absd, f_b))
-        acc2 = bit2 & (d_eff2 > r_crit[f_a]) & (bmax_a < xmax * d_eff2)
+        if m2l:
+            # mutual cell-cell accept: both directions retire into
+            # local expansions at once; one-sided accepts are disabled
+            # so the far field stays exactly momentum-symmetric.  The
+            # waiver for ghost sides is on sink quality only — ghosts
+            # are empty and never sink, but still pass their r_crit
+            # as sources.
+            ok1 = (d_eff1 > r_crit[f_b]) & (bmax_b < xmax * d_eff1)
+            ok2 = (d_eff2 > r_crit[f_a]) & (bmax_a < xmax * d_eff2)
+            sep = bmax_a + bmax_b < cc_xmax * dist
+            mutual = sep & (ok1 | is_ghost[f_a]) & (ok2 | is_ghost[f_b])
+            acc1 = acc2 = np.zeros(len(f_a), dtype=bool)
+            if np.any(mutual):
+                mm1 = mutual & bit1
+                mm2 = mutual & bit2
+                if np.any(mm1):
+                    m2l_sink_p.append(f_a[mm1])
+                    m2l_src_p.append(f_b[mm1])
+                    m2l_off_p.append(f_off[mm1])
+                if np.any(mm2):
+                    m2l_sink_p.append(f_b[mm2])
+                    m2l_src_p.append(f_a[mm2])
+                    m2l_off_p.append(mirror[f_off[mm2]])
+                m2l_accepts += int(np.count_nonzero(mm1)) + int(
+                    np.count_nonzero(mm2)
+                )
+        else:
+            mutual = np.zeros(len(f_a), dtype=bool)
+            acc1 = bit1 & (d_eff1 > r_crit[f_b]) & (bmax_b < xmax * d_eff1)
+            acc2 = bit2 & (d_eff2 > r_crit[f_a]) & (bmax_a < xmax * d_eff2)
+        ret1 = acc1 | mutual  # direction a<-b retired this round
+        ret2 = acc2 | mutual
         leaf_a = is_leaf[f_a]
         leaf_b = is_leaf[f_b]
         both_leaf = leaf_a & leaf_b
-        dir1 = bit1 & ~acc1 & both_leaf
-        dir2 = bit2 & ~acc2 & both_leaf
+        dir1 = bit1 & ~ret1 & both_leaf
+        dir2 = bit2 & ~ret2 & both_leaf
 
         if np.any(acc1):
             int1 = acc1 & ~leaf_a
@@ -430,8 +513,8 @@ def traverse_hierarchical(
             dir_src.append(f_a[dir2])
             dir_off.append(mirror[f_off[dir2]])
 
-        live1 = bit1 & ~acc1 & ~both_leaf
-        live2 = bit2 & ~acc2 & ~both_leaf
+        live1 = bit1 & ~ret1 & ~both_leaf
+        live2 = bit2 & ~ret2 & ~both_leaf
         undecided = live1 | live2
         if not np.any(undecided):
             break
@@ -563,6 +646,26 @@ def traverse_hierarchical(
         rows_of_leaves(d_sink[ghosts]), d_src[ghosts], d_off[ghosts]
     )
 
+    # m2l family: keyed by sink cell (interior or leaf), rows ascending
+    # by cell index; the stable sort keeps each cell's segment in the
+    # BFS emission order, which a restricted walk reproduces exactly.
+    m2l_fields = {}
+    if m2l:
+        m_sink = cat(m2l_sink_p)
+        m_src = cat(m2l_src_p)
+        m_off = cat(m2l_off_p)
+        order = np.argsort(m_sink, kind="stable")
+        m_sink = m_sink[order]
+        m2l_cells_u, m2l_counts = np.unique(m_sink, return_counts=True)
+        m2l_indptr = np.zeros(len(m2l_cells_u) + 1, dtype=np.int64)
+        np.cumsum(m2l_counts, out=m2l_indptr[1:])
+        m2l_fields = dict(
+            m2l_cells=m2l_cells_u.astype(np.int64),
+            m2l_src=m_src[order],
+            m2l_off=m_off[order],
+            m2l_indptr=m2l_indptr,
+        )
+
     return InteractionLists(
         sink_leaves=sinks,
         offsets=offsets,
@@ -583,6 +686,8 @@ def traverse_hierarchical(
         frontier_peak=frontier_peak,
         inherited_accepts=inherited,
         leaf_accepts=leaf_accepts,
+        m2l_accepts=m2l_accepts,
+        **m2l_fields,
     )
 
 
@@ -592,9 +697,19 @@ def traverse_lists(
     traversal: str = "hierarchical",
     **kwargs,
 ) -> InteractionLists:
-    """Dispatch to the requested walk ("hierarchical" or "leaf")."""
+    """Dispatch to the requested walk.
+
+    ``"hierarchical"`` — sink-hierarchical mutual dual walk (default);
+    ``"fmm-hybrid"`` — the same walk with mutual cell-cell accepts into
+    sink-side local expansions (``cc_xmax`` tunes the dual MAC);
+    ``"leaf"`` — the original per-sink-leaf walk.
+    """
     if traversal == "hierarchical":
+        kwargs.pop("cc_xmax", None)
         return traverse_hierarchical(tree, moms, **kwargs)
+    if traversal == "fmm-hybrid":
+        return traverse_hierarchical(tree, moms, m2l=True, **kwargs)
     if traversal == "leaf":
+        kwargs.pop("cc_xmax", None)
         return traverse(tree, moms, **kwargs)
     raise ValueError(f"unknown traversal kind {traversal!r}")

@@ -159,6 +159,60 @@ class TestProbeReference:
         assert res["max_abs_err"] <= res["mac_budget"]
 
 
+class TestMomentumBalance:
+    """Satellite of the fmm-hybrid promotion: mutual cell-cell accepts
+    make the whole-field net force vanish to the rounding floor, and
+    the probe surfaces that as a health metric."""
+
+    @staticmethod
+    def _solve(traversal):
+        from repro.gravity.solver import TreecodeConfig, TreecodeGravity
+
+        rng = np.random.default_rng(42)
+        n = 2048
+        pos = rng.random((n, 3))
+        mass = np.full(n, 1.0 / n)
+        cfg = TreecodeConfig(
+            errtol=1e-4, periodic=False, background=False,
+            traversal=traversal, nleaf=8, backend="numpy",
+        )
+        res = TreecodeGravity(cfg).compute(pos, mass)
+        return mass, res
+
+    def test_fmm_hybrid_momentum_at_fp_floor(self):
+        from repro.diagnose.probe import force_balance
+
+        mass, res = self._solve("fmm-hybrid")
+        assert res.stats["interactions_by_family"]["m2l"] > 0
+        assert force_balance(mass, res.acc) < 5e-12
+
+    def test_hierarchical_momentum_at_mac_level(self):
+        """One-sided accepts break pairwise symmetry: the hierarchical
+        walk's balance sits orders of magnitude above the hybrid's."""
+        from repro.diagnose.probe import force_balance
+
+        mass_h, res_h = self._solve("hierarchical")
+        mass_f, res_f = self._solve("fmm-hybrid")
+        bal_h = force_balance(mass_h, res_h.acc)
+        bal_f = force_balance(mass_f, res_f.acc)
+        assert bal_f < bal_h / 100
+
+    def test_probe_surfaces_momentum_balance(self):
+        cfg = short_config()
+        with Simulation(cfg) as sim:
+            acc = sim._force(sim.particles)
+            res = probe_force_error(sim, acc, n_samples=2, rng=np.random.default_rng(3))
+        assert "momentum_balance" in res
+        assert np.isfinite(res["momentum_balance"])
+
+    def test_monitor_tracks_max_momentum_balance(self, monitored_run):
+        probe = monitored_run["summary"]["monitors"].get("force_error")
+        if probe is None:
+            pytest.skip("force probe not enabled in monitored_run")
+        assert "max_momentum_balance" in probe
+        assert probe["max_momentum_balance"] >= 0.0
+
+
 class TestFailFast:
     def test_nan_momentum_raises_with_snapshot(self, tmp_path):
         cfg = short_config(
